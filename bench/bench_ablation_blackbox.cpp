@@ -1,0 +1,69 @@
+// E11 -- Ablation: Algorithm 5's black-box choice. The class-greedy box
+// (delta ~ 1/4 in polylog rounds, our stand-in for the PODC 2007 1/5-MWM)
+// vs the locally-dominant box (delta = 1/2 but Theta(n) worst-case rounds).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/api.hpp"
+#include "graph/generators.hpp"
+#include "graph/seq_matching.hpp"
+#include "support/table.hpp"
+
+using namespace dmatch;
+
+int main() {
+  bench::banner("E11", "Algorithm 5 black-box ablation");
+
+  Table table({"workload", "box", "weight / greedy", "iterations", "rounds",
+               "msgs"});
+  struct Workload {
+    const char* name;
+    Graph graph;
+  };
+  std::vector<Workload> workloads;
+  workloads.push_back(
+      {"gnp(128, .06) uniform w",
+       gen::with_uniform_weights(gen::gnp(128, 0.06, 1), 1.0, 50.0, 2)});
+  workloads.push_back(
+      {"gnp(128, .06) heavy-tail w",
+       gen::with_exponential_weights(gen::gnp(128, 0.06, 3), 1e4, 4)});
+  // Decreasing weight chain: the locally-dominant box's worst case.
+  {
+    std::vector<Edge> chain;
+    for (NodeId v = 0; v + 1 < 128; ++v) {
+      chain.push_back({v, static_cast<NodeId>(v + 1),
+                       1000.0 - static_cast<double>(v)});
+    }
+    workloads.push_back({"decreasing chain(128)",
+                         Graph::from_edges(128, std::move(chain))});
+  }
+
+  for (const Workload& w : workloads) {
+    const double greedy = greedy_mwm(w.graph).weight(w.graph);
+    for (const auto box : {HalfMwmOptions::BlackBox::kClassGreedy,
+                           HalfMwmOptions::BlackBox::kLocallyDominant}) {
+      HalfMwmOptions options;
+      options.black_box = box;
+      options.epsilon = 0.1;
+      options.seed = 9;
+      const auto result = approx_mwm(w.graph, options);
+      table.row()
+          .cell(w.name)
+          .cell(box == HalfMwmOptions::BlackBox::kClassGreedy
+                    ? "class-greedy"
+                    : "locally-dominant")
+          .cell(result.matching.weight(w.graph) / greedy, 4)
+          .cell(std::int64_t{result.iterations})
+          .cell(result.stats.rounds)
+          .cell(result.stats.messages);
+    }
+  }
+  table.print(std::cout);
+  bench::footer(
+      "Reading: the locally-dominant box gives slightly better weight per\n"
+      "iteration (delta = 1/2 vs ~1/4) and fewer iterations, but the "
+      "chain\nworkload exposes its Theta(n) round blow-up -- the reason "
+      "Theorem 4.5\nneeds a polylog-round box like the PODC 2007 algorithm "
+      "(or our\nclass-greedy stand-in).");
+  return 0;
+}

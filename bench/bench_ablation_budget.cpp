@@ -1,0 +1,73 @@
+// E12 -- Ablation: iteration budgets. Adaptive (oracle-checked) vs the
+// paper's fixed w.h.p. budgets, for the bipartite phases (Lemma 3.9's
+// c log N MIS iterations) and Algorithm 4's outer sampling loop.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/api.hpp"
+#include "graph/generators.hpp"
+#include "graph/hopcroft_karp.hpp"
+#include "support/table.hpp"
+
+using namespace dmatch;
+
+int main() {
+  bench::banner("E12", "adaptive vs fixed iteration budgets");
+
+  std::cout << "Bipartite phases (k = 4, n = 96 per side):\n";
+  {
+    Table table({"termination", "iterations", "rounds", "ratio"});
+    for (const bool fixed : {false, true}) {
+      double iters = 0;
+      double rounds = 0;
+      double ratio = 0;
+      const int seeds = 3;
+      for (int s = 0; s < seeds; ++s) {
+        const Graph g =
+            gen::bipartite_gnp(96, 96, 0.08, static_cast<std::uint64_t>(s));
+        const std::size_t opt = hopcroft_karp(g).size();
+        BipartiteMcmOptions options;
+        options.k = 4;
+        options.phase.termination =
+            fixed ? PhaseOptions::Termination::kFixedBudget
+                  : PhaseOptions::Termination::kAdaptiveOracle;
+        const auto result = approx_mcm_bipartite(
+            g, static_cast<std::uint64_t>(s) + 60, options);
+        iters += result.iterations;
+        rounds += static_cast<double>(result.stats.rounds);
+        ratio += opt ? static_cast<double>(result.matching.size()) / opt : 1;
+      }
+      table.row()
+          .cell(fixed ? "fixed c*log N (paper)" : "adaptive oracle")
+          .cell(iters / seeds, 1)
+          .cell(rounds / seeds, 1)
+          .cell(ratio / seeds, 4);
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\nAlgorithm 4 outer loop (k = 3, n = 40):\n";
+  {
+    Table table({"budget", "iterations", "rounds", "|M|"});
+    for (const bool fixed : {false, true}) {
+      const Graph g = gen::gnp(40, 0.12, 9);
+      GeneralMcmOptions options;
+      options.k = 3;
+      options.seed = 10;
+      options.budget = fixed ? GeneralMcmOptions::Budget::kFixedPaper
+                             : GeneralMcmOptions::Budget::kAdaptive;
+      const auto result = approx_mcm_general(g, options);
+      table.row()
+          .cell(fixed ? "paper 2^(2k+1)(k+1)ln k" : "adaptive + oracle")
+          .cell(std::int64_t{result.iterations})
+          .cell(result.stats.rounds)
+          .cell(static_cast<double>(result.matching.size()), 0);
+    }
+    table.print(std::cout);
+  }
+  bench::footer(
+      "Reading: fixed budgets deliver the same quality at a large constant\n"
+      "round premium -- they are what the w.h.p. statements in Theorems "
+      "3.10\nand 3.15 pay for not having a termination oracle.");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// E17 -- extension: capacitated (b-)matching via the Tutte gadget, the
+// c-matching generalization from the paper's related work and the object
+// behind its cellular-coverage application.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/api.hpp"
+#include "graph/generators.hpp"
+#include "support/table.hpp"
+
+using namespace dmatch;
+
+int main() {
+  bench::banner("E17", "capacitated matching: quality vs capacity and k");
+
+  Table table({"topology", "capacity", "k", "exact", "approx", "ratio",
+               "gadget nodes", "rounds"});
+  struct Workload {
+    const char* name;
+    Graph graph;
+  };
+  std::vector<Workload> workloads;
+  workloads.push_back({"gnp(40, 0.12)", gen::gnp(40, 0.12, 1)});
+  workloads.push_back({"bip(30, 6, 0.4)", gen::bipartite_gnp(30, 6, 0.4, 2)});
+  workloads.push_back({"ba(40, 2)", gen::barabasi_albert(40, 2, 3)});
+
+  for (const Workload& w : workloads) {
+    for (const int cap : {1, 2, 4}) {
+      std::vector<int> capacity(
+          static_cast<std::size_t>(w.graph.node_count()), cap);
+      const std::size_t exact = exact_max_b_matching_size(w.graph, capacity);
+      for (const int k : {2, 3}) {
+        GeneralMcmOptions options;
+        options.k = k;
+        options.seed = 21;
+        const BMatchingResult result =
+            approx_max_b_matching(w.graph, capacity, options);
+        table.row()
+            .cell(w.name)
+            .cell(std::int64_t{cap})
+            .cell(std::int64_t{k})
+            .cell(exact)
+            .cell(result.selected.size())
+            .cell(exact == 0 ? 1.0
+                             : static_cast<double>(result.selected.size()) /
+                                   static_cast<double>(exact),
+                  4)
+            .cell(std::int64_t{result.gadget_nodes})
+            .cell(result.stats.rounds);
+      }
+    }
+  }
+  table.print(std::cout);
+  bench::footer(
+      "Reading: the reduction preserves the matcher's quality (ratios track "
+      "the\nplain-matching experiments) at the cost of a constant-factor "
+      "larger\nsimulated graph -- the gadget has n*cap + 2m nodes.");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// E7 -- The Israeli-Itai baseline: 1/2-MCM in O(log n) rounds, and the
+// cardinality improvement the paper's algorithms buy over it on the same
+// instances.
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/api.hpp"
+#include "graph/blossom.hpp"
+#include "graph/generators.hpp"
+#include "support/table.hpp"
+
+using namespace dmatch;
+
+int main() {
+  bench::banner("E7",
+                "Israeli-Itai baseline: ratio, O(log n) rounds, and the "
+                "improvement of (1-1/k)-MCM over it");
+
+  const int seeds = 5;
+  Table table({"n", "II avg ratio", "II min ratio", "II rounds",
+               "rounds/log2 n", "ours(k=4) ratio", "deficit shrink"});
+  for (const NodeId n : {64, 128, 256, 512, 1024}) {
+    double ii_sum = 0;
+    double ii_min = 1.0;
+    double ii_rounds = 0;
+    double ours_sum = 0;
+    for (int s = 0; s < seeds; ++s) {
+      const Graph g = gen::gnp(n, 6.0 / n, static_cast<std::uint64_t>(s));
+      const std::size_t opt = blossom_mcm(g).size();
+      if (opt == 0) continue;
+
+      const auto ii = maximal_matching(g, static_cast<std::uint64_t>(s) + 1);
+      const double r =
+          static_cast<double>(ii.matching.size()) / static_cast<double>(opt);
+      ii_sum += r;
+      ii_min = std::min(ii_min, r);
+      ii_rounds += static_cast<double>(ii.stats.rounds);
+
+      GeneralMcmOptions options;
+      options.k = 4;
+      options.seed = static_cast<std::uint64_t>(s) + 2;
+      const auto ours = approx_mcm_general(g, options);
+      ours_sum += static_cast<double>(ours.matching.size()) /
+                  static_cast<double>(opt);
+    }
+    const double ii_avg = ii_sum / seeds;
+    const double ours_avg = ours_sum / seeds;
+    table.row()
+        .cell(std::int64_t{n})
+        .cell(ii_avg, 4)
+        .cell(ii_min, 4)
+        .cell(ii_rounds / seeds, 1)
+        .cell(ii_rounds / seeds / std::log2(static_cast<double>(n)), 2)
+        .cell(ours_avg, 4)
+        .cell((1.0 - ii_avg) / std::max(1e-9, 1.0 - ours_avg), 1);
+  }
+  table.print(std::cout);
+  bench::footer(
+      "Reading: II sits around 0.85-0.95 of optimum (its guarantee is only\n"
+      "1/2) with rounds growing as log n; the (1-1/k) algorithm shrinks "
+      "the\nremaining deficit by the factor in the last column.");
+  return 0;
+}

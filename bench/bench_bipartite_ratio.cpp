@@ -1,0 +1,58 @@
+// E1 -- Theorem 3.10 approximation quality: the bipartite CONGEST
+// algorithm must deliver |M| >= (1 - 1/k) |M*| for every k; measured
+// ratios should sit well above the bound and reach 1 for moderate k.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/api.hpp"
+#include "graph/generators.hpp"
+#include "graph/hopcroft_karp.hpp"
+#include "support/table.hpp"
+
+using namespace dmatch;
+
+int main() {
+  bench::banner("E1",
+                "bipartite (1 - 1/k)-MCM ratio vs Hopcroft-Karp optimum");
+
+  Table table({"n per side", "p", "k", "bound 1-1/k", "min ratio",
+               "avg ratio", "avg |M*|"});
+  const int seeds = 5;
+  for (const NodeId nx : {64, 128}) {
+    for (const double p : {0.05, 0.2}) {
+      for (const int k : {2, 3, 5, 8}) {
+        double min_ratio = 1.0;
+        double sum_ratio = 0.0;
+        double sum_opt = 0.0;
+        for (int s = 0; s < seeds; ++s) {
+          const Graph g = gen::bipartite_gnp(nx, nx, p,
+                                             static_cast<std::uint64_t>(s));
+          const std::size_t opt = hopcroft_karp(g).size();
+          if (opt == 0) continue;
+          BipartiteMcmOptions options;
+          options.k = k;
+          const auto result = approx_mcm_bipartite(
+              g, static_cast<std::uint64_t>(s) + 100, options);
+          const double ratio = static_cast<double>(result.matching.size()) /
+                               static_cast<double>(opt);
+          min_ratio = std::min(min_ratio, ratio);
+          sum_ratio += ratio;
+          sum_opt += static_cast<double>(opt);
+        }
+        table.row()
+            .cell(std::int64_t{nx})
+            .cell(p, 2)
+            .cell(std::int64_t{k})
+            .cell(1.0 - 1.0 / k, 3)
+            .cell(min_ratio, 4)
+            .cell(sum_ratio / seeds, 4)
+            .cell(sum_opt / seeds, 1);
+      }
+    }
+  }
+  table.print(std::cout);
+  bench::footer(
+      "Reading: min ratio always >= the 1-1/k bound (deterministically, via "
+      "the\nexhaustive phase oracle), and in practice near 1 from k=5 on.");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// E16 -- convergence curves (the "figure" behind Lemma 3.3): how the
+// approximation ratio improves phase by phase (bipartite) and iteration
+// by iteration (general reduction).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/api.hpp"
+#include "graph/blossom.hpp"
+#include "graph/generators.hpp"
+#include "graph/hopcroft_karp.hpp"
+#include "support/table.hpp"
+
+using namespace dmatch;
+
+int main() {
+  bench::banner("E16", "ratio vs phase / iteration (Lemma 3.3 in action)");
+
+  std::cout << "Bipartite phases (n = 128 per side, p = 0.06, avg of 5 "
+               "seeds):\n";
+  {
+    Table table({"after phase ell", "guarantee 1-2/(ell+3)", "avg ratio",
+                 "cumulative rounds"});
+    const int seeds = 5;
+    const int max_ell = 9;
+    std::vector<double> ratio(static_cast<std::size_t>(max_ell) / 2 + 1, 0);
+    std::vector<double> rounds(ratio.size(), 0);
+    for (int s = 0; s < seeds; ++s) {
+      const Graph g =
+          gen::bipartite_gnp(128, 128, 0.06, static_cast<std::uint64_t>(s));
+      const auto side = *g.bipartition();
+      const std::size_t opt = hopcroft_karp(g).size();
+      congest::Network net(g, congest::Model::kCongest,
+                           static_cast<std::uint64_t>(s) + 400);
+      double total_rounds = 0;
+      for (int ell = 1, idx = 0; ell <= max_ell; ell += 2, ++idx) {
+        const PhaseResult pr = run_phase(net, side, ell, PhaseOptions{});
+        total_rounds += static_cast<double>(pr.stats.rounds);
+        ratio[static_cast<std::size_t>(idx)] +=
+            static_cast<double>(net.extract_matching().size()) /
+            static_cast<double>(opt);
+        rounds[static_cast<std::size_t>(idx)] += total_rounds;
+      }
+    }
+    for (int ell = 1, idx = 0; ell <= max_ell; ell += 2, ++idx) {
+      // After exhausting length <= ell, shortest augmenting path is
+      // >= ell + 2 = 2k - 1 with k = (ell + 3) / 2, so Lemma 3.3 gives
+      // 1 - 1/k = 1 - 2/(ell + 3).
+      table.row()
+          .cell(std::int64_t{ell})
+          .cell(1.0 - 2.0 / (ell + 3), 4)
+          .cell(ratio[static_cast<std::size_t>(idx)] / seeds, 4)
+          .cell(rounds[static_cast<std::size_t>(idx)] / seeds, 1);
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\nAlgorithm 4 outer iterations (n = 80, p = 0.05, k = 3, "
+               "one seed):\n";
+  {
+    const Graph g = gen::gnp(80, 0.05, 9);
+    const std::size_t opt = blossom_mcm(g).size();
+    Table table({"iterations", "ratio"});
+    for (const int budget : {1, 2, 4, 8, 16, 32, 64}) {
+      GeneralMcmOptions options;
+      options.k = 3;
+      options.seed = 10;
+      options.budget = GeneralMcmOptions::Budget::kFixedPaper;
+      options.max_iterations = budget;
+      const auto result = general_mcm(g, options);
+      table.row()
+          .cell(std::int64_t{budget})
+          .cell(opt ? static_cast<double>(result.matching.size()) / opt : 1.0,
+                4);
+    }
+    table.print(std::cout);
+  }
+  bench::footer(
+      "Reading: each bipartite phase pushes the certified bound along "
+      "Lemma 3.3's\nschedule 1 - 2/(ell+3) while measured ratios run ahead "
+      "of it; the general\nreduction converges geometrically in sampling "
+      "iterations (Lemma 3.13's\ncontraction), with most of the matching "
+      "found in the first few.");
+  return 0;
+}

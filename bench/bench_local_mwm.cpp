@@ -1,0 +1,73 @@
+// E14 -- Section 4's Remark: (1 - eps)-MWM in the LOCAL model
+// (Hougardy-Vinkemeier adaptation). Compares quality against the
+// exact optimum and against Algorithm 5's (1/2 - eps) CONGEST result,
+// and shows the LOCAL message price.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/api.hpp"
+#include "graph/exact_small.hpp"
+#include "graph/generators.hpp"
+#include "support/table.hpp"
+
+using namespace dmatch;
+
+int main() {
+  bench::banner("E14",
+                "(1 - eps)-MWM (LOCAL remark) vs (1/2 - eps)-MWM (CONGEST)");
+
+  Table table({"n", "eps", "guarantee k/(k+1)", "LOCAL ratio",
+               "Alg5 ratio", "LOCAL sweeps", "LOCAL max msg bits"});
+  const int seeds = 3;
+  for (const NodeId n : {12, 16, 20}) {
+    for (const double eps : {0.51, 0.34, 0.26}) {
+      double local_ratio = 0;
+      double alg5_ratio = 0;
+      double guarantee = 0;
+      double sweeps = 0;
+      std::uint64_t msg_bits = 0;
+      int counted = 0;
+      for (int s = 0; s < seeds; ++s) {
+        const Graph g = gen::with_uniform_weights(
+            gen::gnp(n, 0.3, static_cast<std::uint64_t>(s) + 300), 1.0, 50.0,
+            static_cast<std::uint64_t>(s) + 301);
+        const double opt = exact_mwm_value(g);
+        if (opt == 0) continue;
+        ++counted;
+
+        LocalMwmOptions local_options;
+        local_options.epsilon = eps;
+        local_options.seed = static_cast<std::uint64_t>(s) + 302;
+        const auto local = local_one_minus_eps_mwm(g, local_options);
+        local_ratio += local.matching.weight(g) / opt;
+        guarantee = local.guarantee;
+        sweeps += local.sweeps;
+        msg_bits = std::max(
+            msg_bits, std::uint64_t{local.stats.max_message_bits});
+
+        HalfMwmOptions alg5_options;
+        alg5_options.epsilon = eps / 2;
+        alg5_options.seed = static_cast<std::uint64_t>(s) + 303;
+        const auto alg5 = approx_mwm(g, alg5_options);
+        alg5_ratio += alg5.matching.weight(g) / opt;
+      }
+      if (counted == 0) continue;
+      table.row()
+          .cell(std::int64_t{n})
+          .cell(eps, 2)
+          .cell(guarantee, 3)
+          .cell(local_ratio / counted, 4)
+          .cell(alg5_ratio / counted, 4)
+          .cell(sweeps / counted, 1)
+          .cell(msg_bits);
+    }
+  }
+  table.print(std::cout);
+  bench::footer(
+      "Reading: the LOCAL algorithm certifies k/(k+1) of the optimum "
+      "(Lemma 4.2\napplied to its stopping condition) and in practice lands "
+      "at ~1.0,\nbeating Algorithm 5 -- but pays with view-sized messages, "
+      "which is why\nthe paper leaves sub-O(log n)-bit (1-eps)-MWM as an "
+      "open problem.");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// E8 -- CONGEST compliance: the largest message each algorithm ever sends,
+// against the O(log n) cap, across n. The LOCAL generic algorithm is the
+// deliberate outlier (Lemma 3.4 vs Theorem 3.10).
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/api.hpp"
+#include "graph/generators.hpp"
+#include "support/table.hpp"
+
+using namespace dmatch;
+
+int main() {
+  bench::banner("E8", "max message bits vs the CONGEST cap");
+
+  Table table({"algorithm", "n", "max msg bits", "cap (48 log n)",
+               "bits / log2 n"});
+  for (const NodeId n : {64, 256, 1024}) {
+    const double log_n = std::log2(static_cast<double>(n));
+    const Graph bip =
+        gen::bipartite_gnp(n / 2, n / 2, 12.0 / n, 1);
+    congest::Network ref(bip, congest::Model::kCongest, 0);
+
+    const auto ii = maximal_matching(bip, 2);
+    table.row()
+        .cell("Israeli-Itai")
+        .cell(std::int64_t{n})
+        .cell(std::uint64_t{ii.stats.max_message_bits})
+        .cell(std::uint64_t{ref.message_cap_bits()})
+        .cell(ii.stats.max_message_bits / log_n, 2);
+
+    const auto bmcm = approx_mcm_bipartite(bip, 3);
+    table.row()
+        .cell("bipartite (1-1/k)-MCM")
+        .cell(std::int64_t{n})
+        .cell(std::uint64_t{bmcm.stats.max_message_bits})
+        .cell(std::uint64_t{ref.message_cap_bits()})
+        .cell(bmcm.stats.max_message_bits / log_n, 2);
+
+    const Graph wg = gen::with_uniform_weights(
+        gen::gnp(n, 8.0 / n, 4), 1.0, 50.0, 5);
+    HalfMwmOptions mwm_options;
+    mwm_options.epsilon = 0.1;
+    mwm_options.seed = 6;
+    const auto mwm = approx_mwm(wg, mwm_options);
+    table.row()
+        .cell("(1/2-eps)-MWM")
+        .cell(std::int64_t{n})
+        .cell(std::uint64_t{mwm.stats.max_message_bits})
+        .cell(std::uint64_t{ref.message_cap_bits()})
+        .cell(mwm.stats.max_message_bits / log_n, 2);
+
+    if (n <= 64) {
+      const Graph lg = gen::gnp(n / 2, 0.15, 7);
+      LocalGenericOptions local_options;
+      local_options.epsilon = 0.51;
+      local_options.seed = 8;
+      const auto local = local_generic_mcm(lg, local_options);
+      table.row()
+          .cell("LOCAL generic (Thm 3.7)")
+          .cell(std::int64_t{n / 2})
+          .cell(std::uint64_t{local.stats.max_message_bits})
+          .cell(std::uint64_t{ref.message_cap_bits()})
+          .cell(local.stats.max_message_bits / log_n, 2);
+    }
+  }
+  table.print(std::cout);
+  bench::footer(
+      "Reading: every CONGEST algorithm's max message is a small constant\n"
+      "number of machine words -- flat in bits/log2(n) as n grows -- while "
+      "the\nLOCAL generic algorithm floods entire neighborhood views, "
+      "orders of\nmagnitude past the cap.");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// E13 -- Micro-benchmarks of the centralized reference solvers (google
+// benchmark): they must stay fast enough to serve as oracles inside the
+// experiment sweeps.
+#include <benchmark/benchmark.h>
+
+#include "congest/network.hpp"
+#include "core/israeli_itai.hpp"
+#include "graph/blossom.hpp"
+#include "graph/generators.hpp"
+#include "graph/hopcroft_karp.hpp"
+#include "graph/hungarian.hpp"
+#include "graph/seq_matching.hpp"
+
+namespace dmatch {
+namespace {
+
+void BM_HopcroftKarp(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const Graph g = gen::bipartite_gnp(n, n, 8.0 / n, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hopcroft_karp(g));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_HopcroftKarp)->Range(64, 2048)->Complexity();
+
+void BM_Blossom(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const Graph g = gen::gnp(n, 8.0 / n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(blossom_mcm(g));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_Blossom)->Range(64, 1024)->Complexity();
+
+void BM_Hungarian(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const Graph g = gen::with_uniform_weights(
+      gen::bipartite_gnp(n, n, 8.0 / n, 3), 1.0, 100.0, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hungarian_mwm(g));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_Hungarian)->Range(32, 256)->Complexity();
+
+void BM_GreedyMwm(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const Graph g = gen::with_uniform_weights(gen::gnp(n, 8.0 / n, 5), 1.0,
+                                            100.0, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(greedy_mwm(g));
+  }
+}
+BENCHMARK(BM_GreedyMwm)->Range(64, 4096);
+
+void BM_PathGrowing(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const Graph g = gen::with_uniform_weights(gen::gnp(n, 8.0 / n, 7), 1.0,
+                                            100.0, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(path_growing_mwm(g));
+  }
+}
+BENCHMARK(BM_PathGrowing)->Range(64, 4096);
+
+void BM_SimulatorIsraeliItai(benchmark::State& state) {
+  // End-to-end simulator throughput: one full II run per iteration.
+  const auto n = static_cast<NodeId>(state.range(0));
+  const Graph g = gen::gnp(n, 8.0 / n, 9);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    congest::Network net(g, congest::Model::kCongest, ++seed);
+    benchmark::DoNotOptimize(israeli_itai(net));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_SimulatorIsraeliItai)->Range(64, 1024)->Complexity();
+
+void BM_GnpGeneration(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen::gnp(n, 8.0 / n, ++seed));
+  }
+}
+BENCHMARK(BM_GnpGeneration)->Range(64, 4096);
+
+}  // namespace
+}  // namespace dmatch
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// E10 -- the Figure 1 application: an input-queued switch scheduled by
+// (a) maximum matching, (b) Israeli-Itai (the II/PIM/iSLIP family), and
+// (c) our bipartite (1-1/k)-MCM, under rising offered load.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "support/table.hpp"
+#include "switchsim/switch_sim.hpp"
+
+using namespace dmatch;
+using switchsim::TrafficConfig;
+
+int main() {
+  bench::banner("E10", "switch scheduling: delay/backlog vs offered load");
+
+  const int ports = 16;
+  const int cycles = 3000;
+  Table table({"pattern", "load", "scheduler", "throughput", "mean delay",
+               "backlog"});
+  for (const auto pattern :
+       {TrafficConfig::Pattern::kUniform, TrafficConfig::Pattern::kBursty}) {
+    for (const double load : {0.7, 0.9, 0.98}) {
+      TrafficConfig traffic;
+      traffic.pattern = pattern;
+      traffic.load = load;
+      const auto run = [&](const char* name, const switchsim::Scheduler& s) {
+        const auto stats =
+            switchsim::simulate_switch(ports, cycles, traffic, s, 99);
+        table.row()
+            .cell(pattern == TrafficConfig::Pattern::kUniform ? "uniform"
+                                                              : "bursty")
+            .cell(load, 2)
+            .cell(name)
+            .cell(stats.throughput(), 4)
+            .cell(stats.mean_delay(), 2)
+            .cell(stats.backlog);
+      };
+      run("maximum (HK)", switchsim::schedule_maximum);
+      run("Israeli-Itai", [](const Graph& g, int cycle) {
+        return switchsim::schedule_israeli_itai(g, cycle, 7);
+      });
+      switchsim::IslipScheduler islip(ports);
+      run("iSLIP(3)", [&islip](const Graph& g, int cycle) {
+        return islip(g, cycle);
+      });
+      run("ours k=4", [](const Graph& g, int cycle) {
+        return switchsim::schedule_bipartite_mcm(g, cycle, 4, 7);
+      });
+      run("max-weight (Hungarian)", switchsim::schedule_max_weight);
+      run("ours MWM eps=.1", [](const Graph& g, int cycle) {
+        return switchsim::schedule_half_mwm(g, cycle, 0.1, 7);
+      });
+    }
+  }
+  table.print(std::cout);
+  bench::footer(
+      "Reading: at light load all schedulers look alike; near saturation "
+      "the\nmatching-quality gap turns into delay and backlog -- our "
+      "scheduler\ntracks the centralized maximum, II drifts away. This is "
+      "the throughput\nargument the paper's introduction makes for better "
+      "matchings in switch\nfabrics.");
+  return 0;
+}

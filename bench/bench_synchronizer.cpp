@@ -1,0 +1,53 @@
+// E15 -- footnote 2: synchrony is WLOG. Runs the protocols over the
+// asynchronous executor through the alpha synchronizer and reports the
+// overhead relative to the synchronous runs (identical results by
+// construction; the tests assert bit-equality).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "congest/async.hpp"
+#include "core/api.hpp"
+#include "graph/generators.hpp"
+#include "support/table.hpp"
+
+using namespace dmatch;
+
+int main() {
+  bench::banner("E15",
+                "alpha synchronizer: overhead of running the protocols "
+                "asynchronously");
+
+  Table table({"n", "sync rounds", "async virtual rounds", "payload msgs",
+               "control msgs (ACK+SAFE)", "overhead factor", "same result"});
+  for (const NodeId n : {32, 64, 128, 256}) {
+    const Graph g = gen::gnp(n, 8.0 / n, static_cast<std::uint64_t>(n));
+
+    congest::Network sync_net(g, congest::Model::kCongest, 5);
+    const IsraeliItaiResult sync_result = israeli_itai(sync_net);
+
+    const auto async_result =
+        congest::run_synchronized(g, israeli_itai_factory(), 5, 1 << 14);
+
+    const double overhead =
+        async_result.stats.payload_messages == 0
+            ? 0.0
+            : static_cast<double>(async_result.stats.control_messages) /
+                  static_cast<double>(async_result.stats.payload_messages);
+    table.row()
+        .cell(std::int64_t{n})
+        .cell(sync_result.stats.rounds)
+        .cell(async_result.stats.virtual_rounds)
+        .cell(async_result.stats.payload_messages)
+        .cell(async_result.stats.control_messages)
+        .cell(overhead, 2)
+        .cell(async_result.matching == sync_result.matching ? "yes" : "NO");
+  }
+  table.print(std::cout);
+  bench::footer(
+      "Reading: the synchronizer reproduces the synchronous execution "
+      "exactly\n(last column) while paying one ACK per payload message plus "
+      "one SAFE per\nedge per simulated round -- the alpha synchronizer's "
+      "O(|E|) messages per\npulse, traded for zero extra latency, exactly "
+      "as [Awerbuch 1985]\ndescribes.");
+  return 0;
+}

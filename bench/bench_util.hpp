@@ -1,0 +1,19 @@
+// Shared helpers for the experiment binaries.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace dmatch::bench {
+
+/// Standard experiment banner: ties a binary to its EXPERIMENTS.md entry.
+inline void banner(const std::string& id, const std::string& claim) {
+  std::cout << "### " << id << ": " << claim << "\n\n";
+}
+
+inline void footer(const std::string& reading) {
+  std::cout << "\n" << reading << "\n\n";
+}
+
+}  // namespace dmatch::bench

@@ -1,0 +1,81 @@
+// E6 -- Theorem 4.5 round complexity: O(log(1/eps) * log n) shape: rounds
+// grow logarithmically in n at fixed eps and logarithmically in 1/eps at
+// fixed n (our class-greedy box adds one extra log n factor; see DESIGN.md
+// note 5 -- the shape in each variable is what is under test).
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/api.hpp"
+#include "graph/generators.hpp"
+#include "support/table.hpp"
+
+using namespace dmatch;
+
+int main() {
+  bench::banner("E6", "(1/2 - eps)-MWM rounds: log(1/eps) x polylog(n) shape");
+
+  const int seeds = 3;
+  {
+    std::cout << "Rounds vs n (eps = 0.1):\n";
+    Table table({"n", "avg rounds", "rounds / log2^2(n)", "iterations"});
+    for (const NodeId n : {32, 64, 128, 256, 512}) {
+      double rounds = 0;
+      int iters = 0;
+      for (int s = 0; s < seeds; ++s) {
+        const Graph g = gen::with_uniform_weights(
+            gen::gnp(n, 8.0 / n, static_cast<std::uint64_t>(s)), 1.0, 64.0,
+            static_cast<std::uint64_t>(s) + 3);
+        HalfMwmOptions options;
+        options.epsilon = 0.1;
+        options.seed = static_cast<std::uint64_t>(s) + 80;
+        const auto result = approx_mwm(g, options);
+        rounds += static_cast<double>(result.stats.rounds);
+        iters = result.iterations;
+      }
+      const double l = std::log2(static_cast<double>(n));
+      table.row()
+          .cell(std::int64_t{n})
+          .cell(rounds / seeds, 1)
+          .cell(rounds / seeds / (l * l), 3)
+          .cell(std::int64_t{iters});
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\nRounds vs eps (n = 128, full fixed schedule -- no early "
+               "exit):\n";
+  {
+    Table table({"eps", "budget (3/2d)ln(2/eps)", "avg rounds",
+                 "rounds / ln(2/eps)"});
+    for (const double eps : {0.4, 0.2, 0.1, 0.05, 0.02, 0.01}) {
+      double rounds = 0;
+      int budget = 0;
+      for (int s = 0; s < seeds; ++s) {
+        const Graph g = gen::with_uniform_weights(
+            gen::gnp(128, 0.06, static_cast<std::uint64_t>(s) + 5), 1.0,
+            64.0, static_cast<std::uint64_t>(s) + 6);
+        HalfMwmOptions options;
+        options.epsilon = eps;
+        options.seed = static_cast<std::uint64_t>(s) + 81;
+        options.stop_when_no_gain = false;  // run the paper's schedule
+        const auto result = approx_mwm(g, options);
+        rounds += static_cast<double>(result.stats.rounds);
+        budget = result.iterations;
+      }
+      table.row()
+          .cell(eps, 2)
+          .cell(std::int64_t{budget})
+          .cell(rounds / seeds, 1)
+          .cell(rounds / seeds / std::log(2.0 / eps), 1);
+    }
+    table.print(std::cout);
+  }
+  bench::footer(
+      "Reading: the fixed schedule's iteration count grows as ln(2/eps), "
+      "exactly\nTheorem 4.5's budget. Total rounds are affine in that "
+      "budget: the\nproductive prefix dominates, and each already-converged "
+      "iteration adds\nonly its idle gain-exchange round. Per-n growth "
+      "(first table) is\npolylogarithmic.");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Cellular coverage (Patt-Shamir, Rawitz & Scalosub [2012], which uses
+// this paper's matching algorithm as its key component): assign mobile
+// clients to base stations, where every mobile needs one station and each
+// station serves at most `capacity` mobiles. That is a maximum-cardinality
+// b-matching, solved here through the Tutte-gadget reduction plus the
+// (1 - 1/k) general-graph matcher.
+//
+//   build/examples/cellular_coverage [mobiles] [stations] [capacity]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/api.hpp"
+#include "graph/generators.hpp"
+#include "support/table.hpp"
+
+using namespace dmatch;
+
+int main(int argc, char** argv) {
+  const NodeId mobiles = argc > 1 ? std::atoi(argv[1]) : 60;
+  const NodeId stations = argc > 2 ? std::atoi(argv[2]) : 8;
+  const int station_capacity = argc > 3 ? std::atoi(argv[3]) : 6;
+
+  // Each mobile hears ~30% of stations (radio reachability).
+  const Graph g = gen::bipartite_gnp(mobiles, stations, 0.3, 11);
+  std::vector<int> capacity(static_cast<std::size_t>(g.node_count()), 1);
+  for (NodeId s = mobiles; s < mobiles + stations; ++s) {
+    capacity[static_cast<std::size_t>(s)] = station_capacity;
+  }
+
+  std::cout << "Coverage instance: " << mobiles << " mobiles, " << stations
+            << " stations (capacity " << station_capacity << " each), "
+            << g.edge_count() << " reachable pairs\n\n";
+
+  const std::size_t exact = exact_max_b_matching_size(g, capacity);
+
+  Table table({"k", "assigned mobiles", "fraction of optimum",
+               "gadget nodes", "rounds"});
+  for (const int k : {2, 3, 4}) {
+    GeneralMcmOptions options;
+    options.k = k;
+    options.seed = 13;
+    const BMatchingResult result = approx_max_b_matching(g, capacity, options);
+    table.row()
+        .cell(std::int64_t{k})
+        .cell(result.selected.size())
+        .cell(exact == 0
+                  ? 1.0
+                  : static_cast<double>(result.selected.size()) /
+                        static_cast<double>(exact),
+              3)
+        .cell(std::int64_t{result.gadget_nodes})
+        .cell(result.stats.rounds);
+  }
+  table.print(std::cout);
+  std::cout << "\nOptimum (Tutte gadget + Blossom): " << exact
+            << " of " << mobiles << " mobiles assigned.\n"
+            << "Station capacities are enforced by construction; the\n"
+               "distributed matcher closes the gap to the optimum as k "
+               "grows.\n";
+  return 0;
+}

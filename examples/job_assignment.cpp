@@ -1,0 +1,65 @@
+// Weighted job/server assignment (the paper's MWM motivation): jobs gain a
+// benefit when run on one of a subset of servers, each server takes one
+// job; maximizing total benefit is exactly maximum weight matching.
+//
+//   build/examples/job_assignment [jobs] [servers] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/api.hpp"
+#include "graph/generators.hpp"
+#include "graph/hungarian.hpp"
+#include "graph/seq_matching.hpp"
+#include "support/table.hpp"
+
+using namespace dmatch;
+
+int main(int argc, char** argv) {
+  const NodeId jobs = argc > 1 ? std::atoi(argv[1]) : 60;
+  const NodeId servers = argc > 2 ? std::atoi(argv[2]) : 40;
+  const std::uint64_t seed =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 11;
+
+  // Each job is compatible with ~20% of servers; benefits are heavy-tailed
+  // (a few very profitable placements), stressing the weight classes.
+  const Graph g = gen::with_exponential_weights(
+      gen::bipartite_gnp(jobs, servers, 0.2, seed), 1000.0, seed + 1);
+  std::cout << "Assignment market: " << jobs << " jobs, " << servers
+            << " servers, " << g.edge_count() << " compatible pairs\n\n";
+
+  const double opt = hungarian_mwm(g).weight(g);
+  Table table({"algorithm", "benefit", "fraction of optimum", "rounds"});
+  table.row()
+      .cell("Hungarian (centralized optimum)")
+      .cell(opt, 1)
+      .cell(1.0, 3)
+      .cell(std::uint64_t{0});
+
+  const Matching greedy = greedy_mwm(g);
+  table.row()
+      .cell("sequential greedy 1/2-MWM")
+      .cell(greedy.weight(g), 1)
+      .cell(greedy.weight(g) / opt, 3)
+      .cell(std::uint64_t{0});
+
+  for (const auto box : {HalfMwmOptions::BlackBox::kClassGreedy,
+                         HalfMwmOptions::BlackBox::kLocallyDominant}) {
+    HalfMwmOptions options;
+    options.epsilon = 0.05;
+    options.black_box = box;
+    options.seed = seed + 2;
+    const HalfMwmResult result = approx_mwm(g, options);
+    table.row()
+        .cell(box == HalfMwmOptions::BlackBox::kClassGreedy
+                  ? "Algorithm 5 + class-greedy box"
+                  : "Algorithm 5 + locally-dominant box")
+        .cell(result.matching.weight(g), 1)
+        .cell(result.matching.weight(g) / opt, 3)
+        .cell(result.stats.rounds);
+  }
+  table.print(std::cout);
+  std::cout << "\nAlgorithm 5 guarantees (1/2 - eps) of the optimum but in\n"
+               "practice lands well above it; all coordination used only\n"
+               "O(log n)-bit messages.\n";
+  return 0;
+}

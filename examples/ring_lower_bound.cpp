@@ -1,0 +1,51 @@
+// The even ring C_2n: the paper's introductory lower-bound instance.
+//
+// C_2n has exactly two maximum matchings (all even edges or all odd edges),
+// so computing an *exact* MCM distributively needs Omega(n) rounds -- while
+// the approximation algorithms get within (1 - 1/k) in O(log n) rounds.
+// This example makes that tradeoff concrete.
+//
+//   build/examples/ring_lower_bound [max_n]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/api.hpp"
+#include "support/table.hpp"
+#include "graph/generators.hpp"
+
+using namespace dmatch;
+
+int main(int argc, char** argv) {
+  const int max_n = argc > 1 ? std::atoi(argv[1]) : 256;
+
+  Table table({"ring size", "optimum", "II |M|", "II rounds", "ours |M| (k=4)",
+               "ours rounds", "ours ratio"});
+  for (int n = 32; n <= max_n; n *= 2) {
+    const Graph g = gen::cycle(n);
+    const std::size_t opt = static_cast<std::size_t>(n) / 2;
+
+    const auto ii = maximal_matching(g, 3);
+
+    GeneralMcmOptions options;
+    options.k = 4;
+    options.seed = 5;
+    const auto ours = approx_mcm_general(g, options);
+
+    table.row()
+        .cell(std::int64_t{n})
+        .cell(opt)
+        .cell(ii.matching.size())
+        .cell(ii.stats.rounds)
+        .cell(ours.matching.size())
+        .cell(ours.stats.rounds)
+        .cell(static_cast<double>(ours.matching.size()) /
+                  static_cast<double>(opt),
+              3);
+  }
+  table.print(std::cout);
+  std::cout << "\nAn exact answer must pick 'all even' or 'all odd' edges --\n"
+               "a global parity decision needing Omega(n) rounds. The\n"
+               "approximation sidesteps the lower bound: its deficit stays\n"
+               "below 1/k of the optimum at polylogarithmic cost.\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Input-queued switch scheduling (the paper's Figure 1 application).
+//
+// Compares three schedulers on the same traffic:
+//   * maximum matching (Hopcroft-Karp) -- the centralized ideal,
+//   * Israeli-Itai maximal matching    -- the II/PIM/iSLIP family,
+//   * our bipartite (1 - 1/k)-MCM      -- Theorem 3.10.
+//
+//   build/examples/switch_scheduler [ports] [cycles] [load]
+#include <cstdlib>
+#include <iostream>
+
+#include "support/table.hpp"
+#include "switchsim/switch_sim.hpp"
+
+using namespace dmatch;
+using switchsim::SwitchStats;
+using switchsim::TrafficConfig;
+
+namespace {
+
+const char* pattern_name(TrafficConfig::Pattern p) {
+  switch (p) {
+    case TrafficConfig::Pattern::kUniform:
+      return "uniform";
+    case TrafficConfig::Pattern::kDiagonal:
+      return "diagonal";
+    case TrafficConfig::Pattern::kBursty:
+      return "bursty";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int ports = argc > 1 ? std::atoi(argv[1]) : 16;
+  const int cycles = argc > 2 ? std::atoi(argv[2]) : 2000;
+  const double load = argc > 3 ? std::atof(argv[3]) : 0.9;
+
+  std::cout << "Input-queued switch: " << ports << " ports, " << cycles
+            << " cycles, offered load " << load << "\n\n";
+
+  Table table({"traffic", "scheduler", "throughput", "mean delay", "backlog"});
+  for (const auto pattern :
+       {TrafficConfig::Pattern::kUniform, TrafficConfig::Pattern::kDiagonal,
+        TrafficConfig::Pattern::kBursty}) {
+    TrafficConfig traffic;
+    traffic.pattern = pattern;
+    traffic.load = load;
+
+    const auto run = [&](const char* name, const switchsim::Scheduler& s) {
+      const SwitchStats stats =
+          switchsim::simulate_switch(ports, cycles, traffic, s, 42);
+      table.row()
+          .cell(pattern_name(pattern))
+          .cell(name)
+          .cell(stats.throughput(), 4)
+          .cell(stats.mean_delay(), 2)
+          .cell(stats.backlog);
+    };
+
+    run("maximum (HK)", switchsim::schedule_maximum);
+    run("Israeli-Itai", [](const Graph& g, int cycle) {
+      return switchsim::schedule_israeli_itai(g, cycle, 7);
+    });
+    switchsim::IslipScheduler islip(ports);
+    run("iSLIP(3)", [&islip](const Graph& g, int cycle) {
+      return islip(g, cycle);
+    });
+    run("ours k=4", [](const Graph& g, int cycle) {
+      return switchsim::schedule_bipartite_mcm(g, cycle, 4, 7);
+    });
+  }
+  table.print(std::cout);
+  std::cout << "\nHigher matching quality -> lower backlog and delay at the\n"
+               "same offered load; the gap widens under adversarial "
+               "(diagonal)\nand bursty traffic.\n";
+  return 0;
+}

@@ -1,0 +1,293 @@
+#include "congest/async.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include "support/assert.hpp"
+
+namespace dmatch::congest {
+
+namespace {
+
+enum class EventKind : std::uint8_t { kData, kAck, kSafe };
+
+struct Event {
+  double time = 0;
+  std::uint64_t seq = 0;  // tie-break for determinism
+  NodeId dst = kNoNode;
+  int dst_port = -1;  // port at the destination the message arrives on
+  EventKind kind = EventKind::kData;
+  int round = 0;
+  Message payload;
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+/// Context handed to the wrapped synchronous process; captures sends.
+class AsyncContext final : public Context {
+ public:
+  AsyncContext(const Graph& g, NodeId id, int round, Rng& rng, int& mate_port,
+               std::vector<std::pair<int, Message>>& outbox)
+      : g_(g),
+        id_(id),
+        round_(round),
+        rng_(rng),
+        mate_port_(mate_port),
+        outbox_(outbox) {}
+
+  [[nodiscard]] NodeId id() const override { return id_; }
+  [[nodiscard]] int degree() const override { return g_.degree(id_); }
+  [[nodiscard]] NodeId neighbor_id(int port) const override {
+    return g_.neighbor(id_, port);
+  }
+  [[nodiscard]] Weight edge_weight(int port) const override {
+    return g_.weight(g_.incident_edges(id_)[static_cast<std::size_t>(port)]);
+  }
+  [[nodiscard]] NodeId n_bound() const override { return g_.node_count(); }
+  [[nodiscard]] int round() const override { return round_; }
+  Rng& rng() override { return rng_; }
+  void send(int port, Message msg) override {
+    DMATCH_EXPECTS(port >= 0 && port < degree());
+    outbox_.emplace_back(port, std::move(msg));
+  }
+  [[nodiscard]] int mate_port() const override { return mate_port_; }
+  void set_mate_port(int port) override {
+    DMATCH_EXPECTS(port >= 0 && port < degree());
+    mate_port_ = port;
+  }
+  void clear_mate() override { mate_port_ = -1; }
+
+ private:
+  const Graph& g_;
+  NodeId id_;
+  int round_;
+  Rng& rng_;
+  int& mate_port_;
+  std::vector<std::pair<int, Message>>& outbox_;
+};
+
+/// Per-node synchronizer state.
+struct NodeState {
+  std::unique_ptr<Process> proc;
+  Rng rng{0};
+  int executed_round = -1;            // highest simulated round run so far
+  std::map<int, std::vector<Envelope>> inbox;  // keyed by delivery round
+  std::map<int, int> safe_count;      // SAFE(r) messages received
+  int pending_acks = 0;               // for the DATA of executed_round
+  bool announced_safe = false;        // SAFE(executed_round) already sent
+};
+
+class AlphaSynchronizerRun {
+ public:
+  AlphaSynchronizerRun(const Graph& g, const ProcessFactory& factory,
+                       std::vector<int>& mate_ports, std::uint64_t seed,
+                       int max_rounds, double min_delay, double max_delay)
+      : g_(g),
+        mate_ports_(mate_ports),
+        max_rounds_(max_rounds),
+        min_delay_(min_delay),
+        max_delay_(max_delay),
+        delay_rng_(seed ^ 0xd37a11ce5ULL) {
+    DMATCH_EXPECTS(mate_ports_.size() ==
+                   static_cast<std::size_t>(g.node_count()));
+    Rng root(seed);
+    nodes_.resize(static_cast<std::size_t>(g.node_count()));
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      auto& node = nodes_[static_cast<std::size_t>(v)];
+      node.proc = factory(v, g);
+      node.rng = root.fork(static_cast<std::uint64_t>(v));
+    }
+  }
+
+  AsyncStats run() {
+    for (NodeId v = 0; v < g_.node_count(); ++v) execute_round(v, 0);
+    while (!queue_.empty()) {
+      if (quiescent()) break;
+      Event ev = queue_.top();
+      queue_.pop();
+      ++stats_.events;
+      stats_.completion_time = ev.time;
+      dispatch(std::move(ev));
+    }
+    // Completion means genuine protocol quiescence (all node programs
+    // halted, nothing undelivered) -- a drained event queue alone can also
+    // mean the round budget cut the synchronizer off mid-protocol.
+    stats_.completed = quiescent();
+    return stats_;
+  }
+
+ private:
+  [[nodiscard]] bool quiescent() const {
+    if (data_in_flight_ > 0) return false;
+    for (const NodeState& node : nodes_) {
+      if (!node.proc->halted()) return false;
+      for (const auto& [round, box] : node.inbox) {
+        if (!box.empty() && round > node.executed_round) return false;
+      }
+    }
+    return true;
+  }
+
+  double delay() {
+    return min_delay_ + (max_delay_ - min_delay_) * delay_rng_.uniform01();
+  }
+
+  void enqueue(double now, NodeId dst, int dst_port, EventKind kind, int round,
+               Message payload = {}) {
+    queue_.push(Event{now + delay(), ++seq_, dst, dst_port, kind, round,
+                      std::move(payload)});
+  }
+
+  void dispatch(Event ev) {
+    auto& node = nodes_[static_cast<std::size_t>(ev.dst)];
+    switch (ev.kind) {
+      case EventKind::kData: {
+        --data_in_flight_;
+        ++stats_.payload_messages;
+        node.inbox[ev.round + 1].push_back({ev.dst_port, std::move(ev.payload)});
+        // Acknowledge to the sender.
+        const EdgeId e = g_.incident_edges(
+            ev.dst)[static_cast<std::size_t>(ev.dst_port)];
+        const NodeId sender = g_.other_endpoint(e, ev.dst);
+        enqueue(ev.time, sender, g_.port_of_edge(sender, e), EventKind::kAck,
+                ev.round);
+        ++stats_.control_messages;
+        break;
+      }
+      case EventKind::kAck: {
+        if (ev.round == node.executed_round) {
+          DMATCH_ASSERT(node.pending_acks > 0);
+          if (--node.pending_acks == 0) announce_safe(ev.time, ev.dst);
+        }
+        try_advance(ev.time, ev.dst);
+        break;
+      }
+      case EventKind::kSafe: {
+        ++node.safe_count[ev.round];
+        try_advance(ev.time, ev.dst);
+        break;
+      }
+    }
+    if (ev.kind == EventKind::kData) try_advance(ev.time, ev.dst);
+  }
+
+  void announce_safe(double now, NodeId v) {
+    auto& node = nodes_[static_cast<std::size_t>(v)];
+    if (node.announced_safe) return;
+    node.announced_safe = true;
+    for (int p = 0; p < g_.degree(v); ++p) {
+      const NodeId u = g_.neighbor(v, p);
+      const EdgeId e = g_.incident_edges(v)[static_cast<std::size_t>(p)];
+      enqueue(now, u, g_.port_of_edge(u, e), EventKind::kSafe,
+              node.executed_round);
+      ++stats_.control_messages;
+    }
+  }
+
+  void try_advance(double now, NodeId v) {
+    auto& node = nodes_[static_cast<std::size_t>(v)];
+    for (;;) {
+      const int r = node.executed_round;
+      if (r + 1 > max_rounds_) return;
+      if (!node.announced_safe) return;  // own messages not yet delivered
+      if (g_.degree(v) > 0 && node.safe_count[r] < g_.degree(v)) return;
+      // An isolated halted node influences nobody: spinning it forward
+      // only burns simulated rounds.
+      if (g_.degree(v) == 0 && node.proc->halted()) return;
+      execute_round(v, r + 1);
+      (void)now;
+    }
+  }
+
+  void execute_round(NodeId v, int round) {
+    auto& node = nodes_[static_cast<std::size_t>(v)];
+    DMATCH_ASSERT(round == node.executed_round + 1);
+    node.executed_round = round;
+    node.safe_count.erase(round - 2);  // stale bookkeeping
+    stats_.virtual_rounds = std::max(
+        stats_.virtual_rounds, static_cast<std::uint64_t>(round));
+
+    std::vector<Envelope> inbox;
+    if (const auto it = node.inbox.find(round); it != node.inbox.end()) {
+      inbox = std::move(it->second);
+      node.inbox.erase(it);
+    }
+    std::sort(inbox.begin(), inbox.end(),
+              [](const Envelope& a, const Envelope& b) {
+                return a.port < b.port;
+              });
+
+    std::vector<std::pair<int, Message>> outbox;
+    // Mirror Network::run: halted nodes with an empty inbox are skipped
+    // (they still synchronize, sending SAFE with no data).
+    if (!node.proc->halted() || !inbox.empty()) {
+      AsyncContext ctx(g_, v, round, node.rng,
+                       mate_ports_[static_cast<std::size_t>(v)], outbox);
+      node.proc->on_round(ctx, inbox);
+    }
+
+    node.pending_acks = static_cast<int>(outbox.size());
+    node.announced_safe = false;
+    const double now = stats_.completion_time;
+    for (auto& [port, msg] : outbox) {
+      const EdgeId e = g_.incident_edges(v)[static_cast<std::size_t>(port)];
+      const NodeId u = g_.other_endpoint(e, v);
+      enqueue(now, u, g_.port_of_edge(u, e), EventKind::kData, round,
+              std::move(msg));
+      ++data_in_flight_;
+    }
+    if (node.pending_acks == 0) announce_safe(now, v);
+  }
+
+  const Graph& g_;
+  std::vector<int>& mate_ports_;
+  const int max_rounds_;
+  const double min_delay_;
+  const double max_delay_;
+  Rng delay_rng_;
+
+  std::vector<NodeState> nodes_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t data_in_flight_ = 0;
+  AsyncStats stats_;
+};
+
+}  // namespace
+
+AsyncStats run_synchronized(const Graph& g, const ProcessFactory& factory,
+                            std::vector<int>& mate_ports, std::uint64_t seed,
+                            int max_virtual_rounds, double min_delay,
+                            double max_delay) {
+  DMATCH_EXPECTS(min_delay > 0 && max_delay >= min_delay);
+  AlphaSynchronizerRun run(g, factory, mate_ports, seed, max_virtual_rounds,
+                           min_delay, max_delay);
+  return run.run();
+}
+
+AsyncRunResult run_synchronized(const Graph& g, const ProcessFactory& factory,
+                                std::uint64_t seed, int max_virtual_rounds) {
+  std::vector<int> mate_ports(static_cast<std::size_t>(g.node_count()), -1);
+  AsyncStats stats =
+      run_synchronized(g, factory, mate_ports, seed, max_virtual_rounds);
+  Matching m(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const int port = mate_ports[static_cast<std::size_t>(v)];
+    if (port < 0) continue;
+    const EdgeId e = g.incident_edges(v)[static_cast<std::size_t>(port)];
+    const NodeId u = g.other_endpoint(e, v);
+    const int uport = mate_ports[static_cast<std::size_t>(u)];
+    DMATCH_EXPECTS(uport >= 0 &&
+                   g.incident_edges(u)[static_cast<std::size_t>(uport)] == e);
+    if (v < u) m.add(g, e);
+  }
+  return {std::move(m), stats};
+}
+
+}  // namespace dmatch::congest

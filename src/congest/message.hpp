@@ -1,0 +1,39 @@
+// Messages exchanged by simulated CONGEST processes.
+//
+// A Message is an opaque bit string with an exact bit count; the Network
+// charges protocols for precisely the bits they write (support/wire.hpp),
+// which is what CONGEST complexity statements are about.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/wire.hpp"
+
+namespace dmatch::congest {
+
+struct Message {
+  std::vector<std::uint64_t> words;
+  std::uint32_t bits = 0;
+
+  Message() = default;
+
+  /// Seal a writer into a message.
+  static Message from_writer(BitWriter&& w) {
+    Message m;
+    m.bits = w.bit_count();
+    m.words = std::move(w).take_words();
+    return m;
+  }
+
+  [[nodiscard]] BitReader reader() const { return BitReader(words, bits); }
+};
+
+/// A delivered message: `port` is the *receiver's* port the message arrived
+/// on (i.e. identifies the sending neighbor from the receiver's viewpoint).
+struct Envelope {
+  int port = -1;
+  Message msg;
+};
+
+}  // namespace dmatch::congest

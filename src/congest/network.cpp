@@ -1,0 +1,197 @@
+#include "congest/network.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+#include "support/wire.hpp"
+
+namespace dmatch::congest {
+
+namespace {
+
+/// Concrete per-node Context bound to the Network's state for one round.
+class NodeContext final : public Context {
+ public:
+  NodeContext(const Graph& g, NodeId id, NodeId n_bound, int round, Rng& rng,
+              int& mate_port, Model model, std::uint32_t cap_bits,
+              std::vector<Envelope>& outbox, RunStats& stats)
+      : g_(g),
+        id_(id),
+        n_bound_(n_bound),
+        round_(round),
+        rng_(rng),
+        mate_port_(mate_port),
+        model_(model),
+        cap_bits_(cap_bits),
+        outbox_(outbox),
+        stats_(stats) {}
+
+  [[nodiscard]] NodeId id() const override { return id_; }
+  [[nodiscard]] int degree() const override { return g_.degree(id_); }
+  [[nodiscard]] NodeId neighbor_id(int port) const override {
+    return g_.neighbor(id_, port);
+  }
+  [[nodiscard]] Weight edge_weight(int port) const override {
+    return g_.weight(
+        g_.incident_edges(id_)[static_cast<std::size_t>(port)]);
+  }
+  [[nodiscard]] NodeId n_bound() const override { return n_bound_; }
+  [[nodiscard]] int round() const override { return round_; }
+  Rng& rng() override { return rng_; }
+
+  void send(int port, Message msg) override {
+    DMATCH_EXPECTS(port >= 0 && port < degree());
+    if (model_ == Model::kCongest && msg.bits > cap_bits_) {
+      throw MessageTooLarge("message of " + std::to_string(msg.bits) +
+                            " bits exceeds CONGEST cap of " +
+                            std::to_string(cap_bits_) + " bits");
+    }
+    ++stats_.messages;
+    stats_.total_bits += msg.bits;
+    stats_.max_message_bits = std::max(stats_.max_message_bits, msg.bits);
+    outbox_.push_back({port, std::move(msg)});
+  }
+
+  [[nodiscard]] int mate_port() const override { return mate_port_; }
+  void set_mate_port(int port) override {
+    DMATCH_EXPECTS(port >= 0 && port < degree());
+    mate_port_ = port;
+  }
+  void clear_mate() override { mate_port_ = -1; }
+
+ private:
+  const Graph& g_;
+  NodeId id_;
+  NodeId n_bound_;
+  int round_;
+  Rng& rng_;
+  int& mate_port_;
+  Model model_;
+  std::uint32_t cap_bits_;
+  std::vector<Envelope>& outbox_;
+  RunStats& stats_;
+};
+
+}  // namespace
+
+Network::Network(const Graph& g, Model model, std::uint64_t seed,
+                 std::uint32_t congest_factor)
+    : g_(&g), model_(model) {
+  const auto n = static_cast<std::size_t>(g.node_count());
+  unsigned log_n = 1;
+  while ((NodeId{1} << log_n) < g.node_count()) ++log_n;
+  cap_bits_ = congest_factor * std::max(log_n, 4u);
+
+  Rng root(seed);
+  node_rng_.reserve(n);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    node_rng_.push_back(root.fork(static_cast<std::uint64_t>(v)));
+  }
+  mate_port_.assign(n, -1);
+}
+
+RunStats Network::run(const ProcessFactory& factory, int max_rounds) {
+  DMATCH_EXPECTS(max_rounds >= 0);
+  const Graph& g = *g_;
+  const auto n = static_cast<std::size_t>(g.node_count());
+
+  std::vector<std::unique_ptr<Process>> procs;
+  procs.reserve(n);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    procs.push_back(factory(v, g));
+    DMATCH_ENSURES(procs.back() != nullptr);
+  }
+
+  RunStats stats;
+  std::vector<std::vector<Envelope>> inbox(n);
+  std::vector<std::vector<Envelope>> next_inbox(n);
+  std::vector<Envelope> outbox;
+
+  for (int round = 0; round < max_rounds; ++round) {
+    bool all_quiet = true;
+    for (const auto& box : inbox) {
+      if (!box.empty()) {
+        all_quiet = false;
+        break;
+      }
+    }
+    if (all_quiet && round > 0) {
+      all_quiet = std::all_of(procs.begin(), procs.end(),
+                              [](const auto& p) { return p->halted(); });
+      if (all_quiet) {
+        stats.completed = true;
+        total_.merge(stats);
+        return stats;
+      }
+    }
+
+    for (auto& box : next_inbox) box.clear();
+    std::uint64_t round_messages = 0;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      const auto vi = static_cast<std::size_t>(v);
+      if (procs[vi]->halted() && inbox[vi].empty()) continue;
+      outbox.clear();
+      NodeContext ctx(g, v, g.node_count(), round, node_rng_[vi],
+                      mate_port_[vi], model_, cap_bits_, outbox, stats);
+      // Deliver in ascending port order for determinism.
+      std::sort(inbox[vi].begin(), inbox[vi].end(),
+                [](const Envelope& a, const Envelope& b) {
+                  return a.port < b.port;
+                });
+      procs[vi]->on_round(ctx, inbox[vi]);
+      for (Envelope& env : outbox) {
+        const EdgeId e =
+            g.incident_edges(v)[static_cast<std::size_t>(env.port)];
+        const NodeId u = g.other_endpoint(e, v);
+        const int their_port = g.port_of_edge(u, e);
+        next_inbox[static_cast<std::size_t>(u)].push_back(
+            {their_port, std::move(env.msg)});
+        ++round_messages;
+      }
+    }
+    std::swap(inbox, next_inbox);
+    ++stats.rounds;
+    (void)round_messages;
+  }
+
+  // Budget exhausted: completed only if nothing is pending.
+  stats.completed =
+      std::all_of(procs.begin(), procs.end(),
+                  [](const auto& p) { return p->halted(); }) &&
+      std::all_of(inbox.begin(), inbox.end(),
+                  [](const auto& box) { return box.empty(); });
+  total_.merge(stats);
+  return stats;
+}
+
+Matching Network::extract_matching() const {
+  const Graph& g = *g_;
+  Matching m(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const int port = mate_port_[static_cast<std::size_t>(v)];
+    if (port < 0) continue;
+    DMATCH_EXPECTS(port < g.degree(v));
+    const EdgeId e = g.incident_edges(v)[static_cast<std::size_t>(port)];
+    const NodeId u = g.other_endpoint(e, v);
+    // Register consistency: u must point back along the same edge.
+    const int uport = mate_port_[static_cast<std::size_t>(u)];
+    DMATCH_EXPECTS(uport >= 0);
+    DMATCH_EXPECTS(g.incident_edges(u)[static_cast<std::size_t>(uport)] == e);
+    if (v < u) m.add(g, e);
+  }
+  DMATCH_ENSURES(m.is_valid(g));
+  return m;
+}
+
+void Network::set_matching(const Matching& m) {
+  const Graph& g = *g_;
+  DMATCH_EXPECTS(m.node_count() == g.node_count());
+  DMATCH_EXPECTS(m.is_valid(g));
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const EdgeId e = m.matched_edge(v);
+    mate_port_[static_cast<std::size_t>(v)] =
+        e == kNoEdge ? -1 : g.port_of_edge(v, e);
+  }
+}
+
+}  // namespace dmatch::congest

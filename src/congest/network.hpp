@@ -1,0 +1,102 @@
+// Synchronous network simulator for the CONGEST / LOCAL models.
+//
+// The Network owns the topology, the per-node random streams, the per-node
+// matching output registers (which persist across protocol runs, so a
+// driver can compose multi-stage algorithms), and the cost accounting
+// (rounds, messages, bits, max message size). In Model::kCongest it
+// enforces a hard per-message bit cap of congest_factor * ceil(log2 n);
+// Model::kLocal only records sizes.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "congest/process.hpp"
+#include "graph/graph.hpp"
+#include "graph/matching.hpp"
+#include "support/rng.hpp"
+
+namespace dmatch::congest {
+
+enum class Model { kCongest, kLocal };
+
+/// Thrown when a protocol sends a message exceeding the CONGEST cap.
+class MessageTooLarge : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct RunStats {
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t total_bits = 0;
+  std::uint32_t max_message_bits = 0;
+  bool completed = true;  // all nodes halted before the round budget ran out
+
+  void merge(const RunStats& other) noexcept {
+    rounds += other.rounds;
+    messages += other.messages;
+    total_bits += other.total_bits;
+    max_message_bits = std::max(max_message_bits, other.max_message_bits);
+    completed = completed && other.completed;
+  }
+
+  /// Rounds after charging over-cap messages as pipelined chunks: a
+  /// round whose largest message used b bits counts as ceil(b / cap)
+  /// rounds. This is how DESIGN.md normalizes the token messages.
+  [[nodiscard]] std::uint64_t normalized_rounds(
+      std::uint32_t cap_bits) const noexcept {
+    if (cap_bits == 0 || max_message_bits <= cap_bits) return rounds;
+    const std::uint64_t factor =
+        (max_message_bits + cap_bits - 1) / cap_bits;
+    return rounds * factor;
+  }
+};
+
+using ProcessFactory =
+    std::function<std::unique_ptr<Process>(NodeId, const Graph&)>;
+
+class Network {
+ public:
+  /// `congest_factor`: per-message cap in units of ceil(log2 n) bits
+  /// (ceil(log2 n) is floored at 4 so toy graphs can still run protocols
+  /// whose constants assume a few machine words).
+  Network(const Graph& g, Model model, std::uint64_t seed,
+          std::uint32_t congest_factor = 48);
+
+  [[nodiscard]] const Graph& graph() const noexcept { return *g_; }
+  [[nodiscard]] Model model() const noexcept { return model_; }
+  [[nodiscard]] std::uint32_t message_cap_bits() const noexcept {
+    return cap_bits_;
+  }
+
+  /// Run one protocol until every node halts with no message in flight, or
+  /// until `max_rounds` rounds have executed. Returns the stats of this run
+  /// and also accumulates them into total_stats().
+  RunStats run(const ProcessFactory& factory, int max_rounds);
+
+  /// Matching described by the nodes' output registers. Throws if the
+  /// registers are inconsistent (one-sided pointers).
+  [[nodiscard]] Matching extract_matching() const;
+
+  /// Overwrite the output registers from an explicit matching.
+  void set_matching(const Matching& m);
+
+  [[nodiscard]] const RunStats& total_stats() const noexcept {
+    return total_;
+  }
+
+ private:
+  friend class NodeContext;
+
+  const Graph* g_;
+  Model model_;
+  std::uint32_t cap_bits_;
+  std::vector<Rng> node_rng_;
+  std::vector<int> mate_port_;  // output registers; -1 = unmatched
+  RunStats total_;
+};
+
+}  // namespace dmatch::congest

@@ -1,0 +1,60 @@
+// Public API of the dmatch library.
+//
+// Everything the paper contributes, behind four entry points:
+//   * maximal_matching            -- Israeli-Itai 1/2-MCM baseline
+//   * approx_mcm_bipartite        -- Theorem 3.10 (1 - 1/k)-MCM, CONGEST
+//   * general_mcm (general_mcm.hpp) -- Theorem 3.15, general graphs
+//   * half_mwm (half_mwm.hpp)     -- Theorem 4.5 (1/2 - eps)-MWM
+//   * local_generic_mcm           -- Theorem 3.7, LOCAL model
+// Lower-level building blocks (phases, augment iterations, delta-MWM
+// boxes, the simulator itself) are exported by their own headers.
+#pragma once
+
+#include "congest/network.hpp"
+#include "core/b_matching.hpp"
+#include "core/bipartite_mcm.hpp"
+#include "core/delta_mwm.hpp"
+#include "core/general_mcm.hpp"
+#include "core/half_mwm.hpp"
+#include "core/israeli_itai.hpp"
+#include "core/local_generic_mcm.hpp"
+#include "core/local_mwm.hpp"
+#include "core/wrap_gain.hpp"
+#include "graph/graph.hpp"
+#include "graph/matching.hpp"
+
+namespace dmatch {
+
+/// Israeli-Itai maximal matching on a fresh network over g.
+inline IsraeliItaiResult maximal_matching(const Graph& g, std::uint64_t seed,
+                                          std::uint32_t congest_factor = 48) {
+  congest::Network net(g, congest::Model::kCongest, seed, congest_factor);
+  return israeli_itai(net);
+}
+
+/// Theorem 3.10 on a fresh network over g. The graph must be bipartite;
+/// the 2-coloring is computed with Graph::bipartition(). (In the CONGEST
+/// model nodes are assumed to know their side; for generated bipartite
+/// workloads the coloring is part of the input.)
+inline BipartiteMcmResult approx_mcm_bipartite(
+    const Graph& g, std::uint64_t seed, const BipartiteMcmOptions& options = {},
+    std::uint32_t congest_factor = 48) {
+  const auto side = g.bipartition();
+  DMATCH_EXPECTS(side.has_value());
+  congest::Network net(g, congest::Model::kCongest, seed, congest_factor);
+  return bipartite_mcm(net, *side, options);
+}
+
+/// Theorem 3.15 on general graphs (see GeneralMcmOptions for budgets).
+inline GeneralMcmResult approx_mcm_general(const Graph& g,
+                                           const GeneralMcmOptions& options) {
+  return general_mcm(g, options);
+}
+
+/// Theorem 4.5 on weighted graphs (see HalfMwmOptions for the black box).
+inline HalfMwmResult approx_mwm(const Graph& g,
+                                const HalfMwmOptions& options) {
+  return half_mwm(g, options);
+}
+
+}  // namespace dmatch

@@ -1,0 +1,119 @@
+#include "core/b_matching.hpp"
+
+#include <algorithm>
+
+#include "graph/blossom.hpp"
+#include "graph/matching.hpp"
+#include "support/assert.hpp"
+
+namespace dmatch {
+
+namespace {
+
+/// The Tutte reduction graph plus the bookkeeping to map matchings back.
+struct Gadget {
+  Graph graph;
+  // For original edge e: the gadget's internal edge id and the ids of the
+  // two gadget nodes (e_u, e_v).
+  std::vector<NodeId> e_u;
+  std::vector<NodeId> e_v;
+};
+
+Gadget build_gadget(const Graph& g, const std::vector<int>& capacity) {
+  DMATCH_EXPECTS(capacity.size() == static_cast<std::size_t>(g.node_count()));
+  for (int c : capacity) DMATCH_EXPECTS(c >= 0);
+
+  Gadget out;
+  // Node copies first: copy_start[v] .. copy_start[v] + capacity[v) - 1.
+  std::vector<NodeId> copy_start(static_cast<std::size_t>(g.node_count()), 0);
+  NodeId next = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    copy_start[static_cast<std::size_t>(v)] = next;
+    next += capacity[static_cast<std::size_t>(v)];
+  }
+  out.e_u.resize(static_cast<std::size_t>(g.edge_count()));
+  out.e_v.resize(static_cast<std::size_t>(g.edge_count()));
+
+  std::vector<Edge> edges;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& ed = g.edge(e);
+    const NodeId eu = next++;
+    const NodeId ev = next++;
+    out.e_u[static_cast<std::size_t>(e)] = eu;
+    out.e_v[static_cast<std::size_t>(e)] = ev;
+    edges.push_back({eu, ev, 1.0});
+    for (int i = 0; i < capacity[static_cast<std::size_t>(ed.u)]; ++i) {
+      edges.push_back(
+          {static_cast<NodeId>(copy_start[static_cast<std::size_t>(ed.u)] + i),
+           eu, 1.0});
+    }
+    for (int i = 0; i < capacity[static_cast<std::size_t>(ed.v)]; ++i) {
+      edges.push_back(
+          {static_cast<NodeId>(copy_start[static_cast<std::size_t>(ed.v)] + i),
+           ev, 1.0});
+    }
+  }
+  out.graph = Graph::from_edges(next, std::move(edges));
+  return out;
+}
+
+std::vector<EdgeId> selected_from_matching(const Graph& g, const Gadget& gad,
+                                           const Matching& m) {
+  std::vector<EdgeId> selected;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const NodeId eu = gad.e_u[static_cast<std::size_t>(e)];
+    const NodeId ev = gad.e_v[static_cast<std::size_t>(e)];
+    // Edge selected iff both gadget nodes matched outwards (to copies).
+    if (m.is_matched(eu) && m.is_matched(ev) && m.mate(eu) != ev) {
+      selected.push_back(e);
+    }
+  }
+  return selected;
+}
+
+}  // namespace
+
+bool is_valid_b_matching(const Graph& g, const std::vector<int>& capacity,
+                         const std::vector<EdgeId>& selected) {
+  if (capacity.size() != static_cast<std::size_t>(g.node_count())) {
+    return false;
+  }
+  std::vector<int> used(static_cast<std::size_t>(g.node_count()), 0);
+  std::vector<char> seen(static_cast<std::size_t>(g.edge_count()), false);
+  for (EdgeId e : selected) {
+    if (e < 0 || e >= g.edge_count()) return false;
+    if (seen[static_cast<std::size_t>(e)]) return false;
+    seen[static_cast<std::size_t>(e)] = true;
+    ++used[static_cast<std::size_t>(g.edge(e).u)];
+    ++used[static_cast<std::size_t>(g.edge(e).v)];
+  }
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (used[static_cast<std::size_t>(v)] >
+        capacity[static_cast<std::size_t>(v)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+BMatchingResult approx_max_b_matching(const Graph& g,
+                                      const std::vector<int>& capacity,
+                                      const GeneralMcmOptions& options) {
+  const Gadget gad = build_gadget(g, capacity);
+  BMatchingResult result;
+  result.gadget_nodes = gad.graph.node_count();
+  GeneralMcmResult inner = general_mcm(gad.graph, options);
+  result.stats = inner.stats;
+  result.selected = selected_from_matching(g, gad, inner.matching);
+  DMATCH_ENSURES(is_valid_b_matching(g, capacity, result.selected));
+  return result;
+}
+
+std::size_t exact_max_b_matching_size(const Graph& g,
+                                      const std::vector<int>& capacity) {
+  const Gadget gad = build_gadget(g, capacity);
+  const Matching m = blossom_mcm(gad.graph);
+  return selected_from_matching(g, gad, m).size();
+}
+
+}  // namespace dmatch

@@ -1,0 +1,52 @@
+// Capacitated matching (the "c-matching" generalization the paper's
+// related-work section discusses via Koufogiannakis & Young [2011], and
+// the object behind the cellular-coverage application of Patt-Shamir,
+// Rawitz & Scalosub [2012] that builds on this paper's algorithm).
+//
+// A b-matching selects a subset of edges such that each node v is incident
+// to at most capacity(v) selected edges. We reduce to plain matching with
+// the classic Tutte gadget:
+//   * node v becomes capacity(v) copies;
+//   * edge e = (u, v) becomes a 3-path gadget  u_i -- e_u -- e_v -- v_j
+//     (e_u adjacent to every copy of u, e_v to every copy of v, plus the
+//     internal edge (e_u, e_v));
+//   * e is selected iff both e_u and e_v are matched to node copies.
+// Any matching of the gadget graph induces a valid b-matching, a maximum
+// one induces a maximum b-matching, and the approximation factor of the
+// matcher carries over to the b-matching size up to the slack of the
+// always-satisfiable internal edges. In the distributed reading, node v
+// simulates its own copies and the gadgets of its incident edges, which
+// costs O(1) factor overhead in rounds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/general_mcm.hpp"
+#include "graph/graph.hpp"
+
+namespace dmatch {
+
+struct BMatchingResult {
+  std::vector<EdgeId> selected;  // edge ids of g
+  congest::RunStats stats;
+  int gadget_nodes = 0;  // size of the reduction graph (for reporting)
+};
+
+/// True iff `selected` uses every edge at most once and respects the
+/// per-node capacities.
+bool is_valid_b_matching(const Graph& g, const std::vector<int>& capacity,
+                         const std::vector<EdgeId>& selected);
+
+/// Approximate maximum-cardinality b-matching: Tutte gadget + the
+/// (1 - 1/k) general-graph matcher (Theorem 3.15).
+BMatchingResult approx_max_b_matching(const Graph& g,
+                                      const std::vector<int>& capacity,
+                                      const GeneralMcmOptions& options);
+
+/// Exact maximum b-matching size (Tutte gadget + Blossom); reference
+/// oracle for tests and benches.
+std::size_t exact_max_b_matching_size(const Graph& g,
+                                      const std::vector<int>& capacity);
+
+}  // namespace dmatch

@@ -1,0 +1,55 @@
+// Algorithm 5 / Theorem 4.5: (1/2 - eps)-approximate maximum weight
+// matching via repeated delta-MWM on the gain weights w_M.
+//
+// Each of the ceil((3 / 2 delta) * ln(2 / eps)) iterations:
+//   1. gain exchange (1 round): every node broadcasts the weight of its
+//      matched edge, after which both endpoints of every edge know w_M;
+//   2. black-box delta-MWM on the positive-gain subgraph -> M';
+//   3. wrap application (2 rounds): endpoints of M' edges repoint their
+//      registers to each other and tell their old mates to clear theirs
+//      (Lemma 4.1 guarantees the result is a matching of weight
+//      >= w(M) + w_M(M')).
+// Iterations stop early if no edge has positive gain (every further
+// iteration would be a no-op).
+#pragma once
+
+#include <cstdint>
+
+#include "core/delta_mwm.hpp"
+#include "graph/graph.hpp"
+#include "graph/matching.hpp"
+
+namespace dmatch {
+
+struct HalfMwmOptions {
+  double epsilon = 0.1;
+
+  enum class BlackBox { kClassGreedy, kLocallyDominant };
+  BlackBox black_box = BlackBox::kClassGreedy;
+
+  /// 0 = use the black box's guaranteed delta in the iteration formula.
+  double delta_override = 0;
+  /// Stop once no edge has positive gain (every further iteration would be
+  /// a no-op). Disable to run the paper's full fixed schedule.
+  bool stop_when_no_gain = true;
+  /// 0 = the formula; otherwise a hard iteration count.
+  int max_iterations_override = 0;
+
+  std::uint64_t seed = 1;
+  std::uint32_t congest_factor = 48;
+  DeltaMwmOptions box_options;
+};
+
+struct HalfMwmResult {
+  Matching matching;
+  congest::RunStats stats;
+  int iterations = 0;
+  double guarantee = 0;  // the proven lower bound (1/2 - eps) given delta
+};
+
+/// Iteration count ceil((3 / (2 delta)) * ln(2 / eps)).
+int half_mwm_iteration_budget(double delta, double epsilon);
+
+HalfMwmResult half_mwm(const Graph& g, const HalfMwmOptions& options = {});
+
+}  // namespace dmatch

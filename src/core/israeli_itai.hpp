@@ -1,0 +1,45 @@
+// Israeli-Itai randomized maximal matching (the paper's baseline).
+//
+// [Israeli & Itai 1986]: a maximal matching -- hence a 1/2-MCM -- computed
+// in O(log n) CONGEST rounds w.h.p. We implement the standard
+// proposer/acceptor form: in every iteration each free node flips a coin to
+// act as proposer or acceptor; proposers propose to a uniformly random
+// still-free neighbor; acceptors accept one incoming proposal uniformly at
+// random. Matched nodes announce themselves so neighbors prune their
+// candidate lists; a free node with no free neighbors left halts, which
+// makes the output maximal on termination (deterministically, not just
+// w.h.p.): while some edge has two free endpoints, both keep iterating.
+#pragma once
+
+#include <optional>
+
+#include "congest/network.hpp"
+#include "graph/graph.hpp"
+#include "graph/matching.hpp"
+
+namespace dmatch {
+
+struct IsraeliItaiOptions {
+  /// Hard round budget (protocol is O(log n) w.h.p.; budget is a backstop).
+  int max_rounds = 1 << 20;
+  /// Only edges with eligible[e] participate (used by the weight-class
+  /// black box to restrict to one class). Empty = all edges.
+  std::vector<char> eligible_edges;
+};
+
+struct IsraeliItaiResult {
+  Matching matching;
+  congest::RunStats stats;
+};
+
+/// Node-program factory for the protocol (used directly by the
+/// asynchronous executor and the tests).
+congest::ProcessFactory israeli_itai_factory(IsraeliItaiOptions options = {});
+
+/// Run Israeli-Itai on net's graph. The network's matching registers are
+/// overwritten with the result (pre-existing registers are cleared for
+/// participating nodes; nodes with no eligible edges are left untouched).
+IsraeliItaiResult israeli_itai(congest::Network& net,
+                               const IsraeliItaiOptions& options = {});
+
+}  // namespace dmatch

@@ -1,0 +1,471 @@
+#include "core/local_generic_mcm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "graph/augmenting.hpp"
+#include "support/wire.hpp"
+
+namespace dmatch {
+
+namespace {
+
+using congest::Context;
+using congest::Envelope;
+using congest::Message;
+using congest::Process;
+
+/// 64-bit signature of a path's canonical node sequence (oriented from its
+/// smaller endpoint). Identical at every node that sees the path.
+std::uint64_t path_signature(const std::vector<NodeId>& seq) {
+  std::uint64_t h = 0x243f6a8885a308d3ULL;
+  for (NodeId v : seq) {
+    h ^= static_cast<std::uint64_t>(v) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+         (h >> 2);
+    std::uint64_t s = h;
+    h = splitmix64(s);
+  }
+  return h;
+}
+
+enum class PathStatus : std::uint8_t { kUndecided = 0, kIn = 1, kOut = 2 };
+
+struct PathRecord {
+  std::uint64_t value = 0;
+  NodeId leader = kNoNode;
+  PathStatus status = PathStatus::kUndecided;
+};
+
+enum MsgKind : std::uint64_t { kViewMsg = 0, kMisMsg = 1, kAugmentMsg = 2 };
+
+/// The whole-phase LOCAL process. Round schedule for phase length ell with
+/// T MIS iterations:
+///   [0, 2*ell)                      view flooding
+///   [2*ell, 2*ell + T*2*ell)        MIS iterations (2*ell rounds each)
+///   [2*ell*(T+1), ... + ell + 1)    augmentation
+class LocalPhaseProcess final : public Process {
+ public:
+  LocalPhaseProcess(NodeId id, const Graph& g, int ell, int mis_iterations)
+      : id_(id), g_(&g), ell_(ell), mis_iterations_(mis_iterations) {}
+
+  void on_round(Context& ctx, std::span<const Envelope> inbox) override {
+    const int r = ctx.round();
+    const int view_end = 2 * ell_;
+    const int mis_end = view_end + mis_iterations_ * 2 * ell_;
+    const int augment_end = mis_end + ell_ + 1;
+
+    ingest(ctx, inbox);
+
+    if (r == 0) init_view(ctx);
+    if (r < view_end) {
+      broadcast_view(ctx);
+    } else if (r == view_end) {
+      enumerate_paths(ctx);
+      begin_mis_iteration(ctx);
+    } else if (r < mis_end) {
+      const int within = (r - view_end) % (2 * ell_);
+      if (within == 0) {
+        finish_mis_iteration();
+        begin_mis_iteration(ctx);
+      } else {
+        forward_mis_records(ctx);
+      }
+    } else if (r == mis_end) {
+      finish_mis_iteration();
+      start_augments(ctx);
+    }
+    halted_ = r >= augment_end;
+  }
+
+  [[nodiscard]] bool halted() const override { return halted_; }
+
+ private:
+  // ---- view stage -------------------------------------------------------
+
+  void init_view(Context& ctx) {
+    const bool matched = ctx.mate_port() >= 0;
+    node_recs_[id_] = matched;
+    for (int p = 0; p < ctx.degree(); ++p) {
+      const NodeId u = ctx.neighbor_id(p);
+      const auto key = std::minmax(id_, u);
+      edge_recs_[{key.first, key.second}] = (p == ctx.mate_port());
+      neighbor_port_[u] = p;
+    }
+  }
+
+  void ingest(Context& ctx, std::span<const Envelope> inbox) {
+    for (const Envelope& env : inbox) {
+      auto reader = env.msg.reader();
+      switch (reader.read(2)) {
+        case kViewMsg:
+          ingest_view(reader);
+          break;
+        case kMisMsg:
+          ingest_mis(reader);
+          break;
+        case kAugmentMsg:
+          ingest_augment(ctx, reader);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  [[nodiscard]] unsigned id_width() const {
+    return bit_width_for(
+        static_cast<std::uint64_t>(std::max(1, g_->node_count() - 1)));
+  }
+
+  void broadcast_view(Context& ctx) {
+    const unsigned idw = id_width();
+    BitWriter w;
+    w.write(kViewMsg, 2);
+    w.write(node_recs_.size(), 32);
+    for (const auto& [v, matched] : node_recs_) {
+      w.write(static_cast<std::uint64_t>(v), idw);
+      w.write_bool(matched);
+    }
+    w.write(edge_recs_.size(), 32);
+    for (const auto& [uv, matched] : edge_recs_) {
+      w.write(static_cast<std::uint64_t>(uv.first), idw);
+      w.write(static_cast<std::uint64_t>(uv.second), idw);
+      w.write_bool(matched);
+    }
+    const Message msg = Message::from_writer(std::move(w));
+    for (int p = 0; p < ctx.degree(); ++p) ctx.send(p, msg);
+  }
+
+  void ingest_view(BitReader& reader) {
+    const unsigned idw = id_width();
+    const auto n_nodes = reader.read(32);
+    for (std::uint64_t i = 0; i < n_nodes; ++i) {
+      const auto v = static_cast<NodeId>(reader.read(idw));
+      const bool matched = reader.read_bool();
+      node_recs_[v] = matched;
+    }
+    const auto n_edges = reader.read(32);
+    for (std::uint64_t i = 0; i < n_edges; ++i) {
+      const auto u = static_cast<NodeId>(reader.read(idw));
+      const auto v = static_cast<NodeId>(reader.read(idw));
+      const bool matched = reader.read_bool();
+      edge_recs_[{u, v}] = matched;
+    }
+  }
+
+  // ---- local computation: paths and conflicts ---------------------------
+
+  void enumerate_paths(Context& ctx) {
+    (void)ctx;
+    // Build the local view as a Graph on remapped ids.
+    std::vector<NodeId> local_to_global;
+    std::map<NodeId, NodeId> global_to_local;
+    for (const auto& [v, matched] : node_recs_) {
+      global_to_local[v] = static_cast<NodeId>(local_to_global.size());
+      local_to_global.push_back(v);
+    }
+    std::vector<Edge> edges;
+    std::vector<std::pair<NodeId, NodeId>> edge_keys;
+    for (const auto& [uv, matched] : edge_recs_) {
+      // A boundary edge record can arrive one hop before the node record of
+      // its far endpoint; such edges lie outside the usable view radius.
+      const auto u_it = global_to_local.find(uv.first);
+      const auto v_it = global_to_local.find(uv.second);
+      if (u_it == global_to_local.end() || v_it == global_to_local.end()) {
+        continue;
+      }
+      edges.push_back({u_it->second, v_it->second, 1.0});
+      edge_keys.push_back(uv);
+    }
+    // A matched boundary node whose matching edge lies outside the view
+    // must not look free (that would fabricate augmenting paths); attach a
+    // phantom mate so alternation dead-ends there instead.
+    std::vector<char> has_matched_edge(local_to_global.size(), false);
+    for (std::size_t i = 0; i < edge_keys.size(); ++i) {
+      if (!edge_recs_.at(edge_keys[i])) continue;
+      has_matched_edge[static_cast<std::size_t>(edges[i].u)] = true;
+      has_matched_edge[static_cast<std::size_t>(edges[i].v)] = true;
+    }
+    auto total_nodes = static_cast<NodeId>(local_to_global.size());
+    std::vector<EdgeId> phantom_matched;
+    for (const auto& [v, matched] : node_recs_) {
+      const NodeId lv = global_to_local.at(v);
+      if (matched && !has_matched_edge[static_cast<std::size_t>(lv)]) {
+        phantom_matched.push_back(static_cast<EdgeId>(edges.size()));
+        edges.push_back({lv, total_nodes++, 1.0});
+      }
+    }
+    const Graph view = Graph::from_edges(total_nodes, std::move(edges));
+    Matching view_matching(view.node_count());
+    for (EdgeId e = 0; e < static_cast<EdgeId>(edge_keys.size()); ++e) {
+      if (edge_recs_.at(edge_keys[static_cast<std::size_t>(e)])) {
+        view_matching.add(view, e);
+      }
+    }
+    for (EdgeId e : phantom_matched) view_matching.add(view, e);
+
+    const auto raw =
+        enumerate_augmenting_paths(view, view_matching, ell_);
+    // Convert to canonical global node sequences.
+    std::vector<std::vector<NodeId>> seqs;
+    seqs.reserve(raw.size());
+    for (const auto& path_edges : raw) {
+      seqs.push_back(to_node_sequence(view, view_matching, path_edges,
+                                      local_to_global));
+    }
+    // Record ownership and pairwise conflicts among all seen paths.
+    for (std::size_t i = 0; i < seqs.size(); ++i) {
+      const std::uint64_t sig = path_signature(seqs[i]);
+      all_paths_[sig] = seqs[i];
+      if (seqs[i].front() == id_) own_paths_.push_back(sig);
+    }
+    for (auto& [sig, seq] : all_paths_) {
+      std::set<NodeId> nodes(seq.begin(), seq.end());
+      for (const std::uint64_t own : own_paths_) {
+        if (own == sig) continue;
+        const auto& mine = all_paths_[own];
+        const bool intersects =
+            std::any_of(mine.begin(), mine.end(),
+                        [&nodes](NodeId v) { return nodes.count(v) > 0; });
+        if (intersects) conflicts_[own].insert(sig);
+      }
+    }
+    for (const std::uint64_t own : own_paths_) {
+      status_[own] = PathStatus::kUndecided;
+      conflicts_.try_emplace(own);
+    }
+  }
+
+  static std::vector<NodeId> to_node_sequence(
+      const Graph& view, const Matching& vm,
+      const std::vector<EdgeId>& path_edges,
+      const std::vector<NodeId>& local_to_global) {
+    (void)vm;
+    // Reconstruct the node order from consecutive shared endpoints.
+    std::vector<NodeId> seq;
+    if (path_edges.size() == 1) {
+      const Edge& ed = view.edge(path_edges[0]);
+      seq = {ed.u, ed.v};
+    } else {
+      const Edge& e0 = view.edge(path_edges[0]);
+      const Edge& e1 = view.edge(path_edges[1]);
+      NodeId first = (e0.u == e1.u || e0.u == e1.v) ? e0.v : e0.u;
+      seq.push_back(first);
+      NodeId cur = first;
+      for (EdgeId e : path_edges) {
+        cur = view.other_endpoint(e, cur);
+        seq.push_back(cur);
+      }
+    }
+    std::vector<NodeId> global;
+    global.reserve(seq.size());
+    for (NodeId v : seq) {
+      global.push_back(local_to_global[static_cast<std::size_t>(v)]);
+    }
+    if (global.front() > global.back()) {
+      std::reverse(global.begin(), global.end());
+    }
+    return global;
+  }
+
+  // ---- MIS emulation stage ----------------------------------------------
+
+  void begin_mis_iteration(Context& ctx) {
+    iteration_records_.clear();
+    forwarded_this_iteration_.clear();
+    // Leaders inject one record per own path.
+    for (const std::uint64_t sig : own_paths_) {
+      PathRecord rec;
+      rec.leader = id_;
+      rec.status = status_[sig];
+      rec.value = ctx.rng()();
+      iteration_records_[sig] = rec;
+    }
+    forward_mis_records(ctx);
+  }
+
+  void forward_mis_records(Context& ctx) {
+    std::vector<std::pair<std::uint64_t, PathRecord>> fresh;
+    for (const auto& [sig, rec] : iteration_records_) {
+      if (forwarded_this_iteration_.insert(sig).second) {
+        fresh.emplace_back(sig, rec);
+      }
+    }
+    if (fresh.empty()) return;
+    const unsigned idw = id_width();
+    BitWriter w;
+    w.write(kMisMsg, 2);
+    w.write(fresh.size(), 32);
+    for (const auto& [sig, rec] : fresh) {
+      w.write(sig, 64);
+      w.write(rec.value, 64);
+      w.write(static_cast<std::uint64_t>(rec.leader), idw);
+      w.write(static_cast<std::uint64_t>(rec.status), 2);
+    }
+    const Message msg = Message::from_writer(std::move(w));
+    for (int p = 0; p < ctx.degree(); ++p) ctx.send(p, msg);
+  }
+
+  void ingest_mis(BitReader& reader) {
+    const unsigned idw = id_width();
+    const auto count = reader.read(32);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::uint64_t sig = reader.read(64);
+      PathRecord rec;
+      rec.value = reader.read(64);
+      rec.leader = static_cast<NodeId>(reader.read(idw));
+      rec.status = static_cast<PathStatus>(reader.read(2));
+      iteration_records_.try_emplace(sig, rec);
+    }
+  }
+
+  void finish_mis_iteration() {
+    for (const std::uint64_t own : own_paths_) {
+      if (status_[own] != PathStatus::kUndecided) continue;
+      const PathRecord& mine = iteration_records_.at(own);
+      bool blocked_by_in = false;
+      bool is_local_max = true;
+      for (const std::uint64_t other : conflicts_[own]) {
+        const auto it = iteration_records_.find(other);
+        if (it == iteration_records_.end()) {
+          // A conflicting path's record failed to arrive; be conservative.
+          is_local_max = false;
+          continue;
+        }
+        if (it->second.status == PathStatus::kIn) {
+          blocked_by_in = true;
+          break;
+        }
+        if (it->second.status != PathStatus::kUndecided) continue;
+        const auto mine_key =
+            std::make_tuple(mine.value, mine.leader, own);
+        const auto other_key =
+            std::make_tuple(it->second.value, it->second.leader, other);
+        if (other_key > mine_key) is_local_max = false;
+      }
+      if (blocked_by_in) {
+        status_[own] = PathStatus::kOut;
+      } else if (is_local_max) {
+        status_[own] = PathStatus::kIn;
+        // Sibling paths of the same leader always intersect (at this
+        // leader); settle them immediately and locally.
+        for (const std::uint64_t sib : own_paths_) {
+          if (sib != own && status_[sib] == PathStatus::kUndecided &&
+              conflicts_[own].count(sib) > 0) {
+            status_[sib] = PathStatus::kOut;
+          }
+        }
+      }
+    }
+  }
+
+  // ---- augmentation stage -----------------------------------------------
+
+  void start_augments(Context& ctx) {
+    for (const std::uint64_t own : own_paths_) {
+      if (status_[own] != PathStatus::kIn) continue;
+      const auto& seq = all_paths_[own];
+      DMATCH_ASSERT(seq.front() == id_);
+      apply_flip(ctx, seq, 0);
+      send_augment(ctx, seq, 1);
+    }
+  }
+
+  void ingest_augment(Context& ctx, BitReader& reader) {
+    const unsigned idw = id_width();
+    const auto len = reader.read(16);
+    std::vector<NodeId> seq;
+    seq.reserve(len);
+    for (std::uint64_t i = 0; i < len; ++i) {
+      seq.push_back(static_cast<NodeId>(reader.read(idw)));
+    }
+    const auto it = std::find(seq.begin(), seq.end(), id_);
+    DMATCH_ASSERT(it != seq.end());
+    const auto index = static_cast<std::size_t>(it - seq.begin());
+    apply_flip(ctx, seq, index);
+    if (index + 1 < seq.size()) send_augment(ctx, seq, index + 1);
+  }
+
+  void apply_flip(Context& ctx, const std::vector<NodeId>& seq,
+                  std::size_t index) {
+    // Edge (i, i+1) is non-matching iff i is even; the new mate sits across
+    // the adjacent non-matching edge.
+    const NodeId new_mate = (index % 2 == 0) ? seq[index + 1] : seq[index - 1];
+    const auto it = neighbor_port_.find(new_mate);
+    DMATCH_ASSERT(it != neighbor_port_.end());
+    ctx.set_mate_port(it->second);
+  }
+
+  void send_augment(Context& ctx, const std::vector<NodeId>& seq,
+                    std::size_t next_index) {
+    const unsigned idw = id_width();
+    BitWriter w;
+    w.write(kAugmentMsg, 2);
+    w.write(seq.size(), 16);
+    for (NodeId v : seq) w.write(static_cast<std::uint64_t>(v), idw);
+    const auto it = neighbor_port_.find(seq[next_index]);
+    DMATCH_ASSERT(it != neighbor_port_.end());
+    ctx.send(it->second, Message::from_writer(std::move(w)));
+  }
+
+  const NodeId id_;
+  const Graph* g_;
+  const int ell_;
+  const int mis_iterations_;
+
+  std::map<NodeId, bool> node_recs_;
+  std::map<std::pair<NodeId, NodeId>, bool> edge_recs_;
+  std::map<NodeId, int> neighbor_port_;
+
+  std::map<std::uint64_t, std::vector<NodeId>> all_paths_;
+  std::vector<std::uint64_t> own_paths_;
+  std::map<std::uint64_t, std::set<std::uint64_t>> conflicts_;
+  std::map<std::uint64_t, PathStatus> status_;
+
+  std::map<std::uint64_t, PathRecord> iteration_records_;
+  std::set<std::uint64_t> forwarded_this_iteration_;
+
+  bool halted_ = false;
+};
+
+}  // namespace
+
+LocalGenericResult local_generic_mcm(const Graph& g,
+                                     const LocalGenericOptions& options) {
+  DMATCH_EXPECTS(options.epsilon > 0 && options.epsilon <= 1);
+  const int k = static_cast<int>(std::ceil(1.0 / options.epsilon));
+
+  LocalGenericResult result;
+  congest::Network net(g, congest::Model::kLocal, options.seed);
+
+  for (int ell = 1; ell <= 2 * k - 1; ell += 2) {
+    ++result.phases;
+    const double log_paths =
+        (ell + 1) * std::log2(std::max(2, g.node_count()));
+    const int mis_iterations = static_cast<int>(
+        std::ceil(options.mis_budget_factor * std::max(2.0, log_paths)));
+    const int total_rounds = 2 * ell + mis_iterations * 2 * ell + ell + 4;
+
+    for (int attempt = 0;; ++attempt) {
+      result.stats.merge(net.run(
+          [&g, ell, mis_iterations](NodeId v, const Graph&) {
+            return std::make_unique<LocalPhaseProcess>(v, g, ell,
+                                                       mis_iterations);
+          },
+          total_rounds));
+      if (!options.retry_incomplete_phase) break;
+      const Matching m = net.extract_matching();
+      if (enumerate_augmenting_paths(g, m, ell, 1).empty()) break;
+      ++result.phase_retries;
+      DMATCH_ASSERT(attempt < 64);  // w.h.p. budget should rarely retry
+    }
+  }
+
+  result.matching = net.extract_matching();
+  return result;
+}
+
+}  // namespace dmatch

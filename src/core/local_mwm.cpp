@@ -1,0 +1,565 @@
+#include "core/local_mwm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "core/wrap_gain.hpp"
+#include "graph/augmenting.hpp"
+#include "support/wire.hpp"
+
+namespace dmatch {
+
+namespace {
+
+using congest::Context;
+using congest::Envelope;
+using congest::Message;
+using congest::Process;
+
+std::uint64_t weight_to_bits(double w) {
+  std::uint64_t bits;
+  __builtin_memcpy(&bits, &w, sizeof(bits));
+  return bits;
+}
+
+double bits_to_weight(std::uint64_t bits) {
+  double w;
+  __builtin_memcpy(&w, &bits, sizeof(w));
+  return w;
+}
+
+std::uint64_t sequence_signature(const std::vector<NodeId>& seq) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (NodeId v : seq) {
+    std::uint64_t s = h ^ (static_cast<std::uint64_t>(v) * 0xff51afd7ed558ccdULL);
+    h = splitmix64(s);
+  }
+  return h;
+}
+
+enum class AugStatus : std::uint8_t { kUndecided = 0, kIn = 1, kOut = 2 };
+
+struct AugRecord {
+  std::uint64_t value = 0;
+  NodeId leader = kNoNode;
+  AugStatus status = AugStatus::kUndecided;
+  std::uint8_t gain_class = 0;
+};
+
+enum MsgKind : std::uint64_t { kViewMsg = 0, kMisMsg = 1, kAugmentMsg = 2 };
+
+/// One sweep of the weighted LOCAL algorithm at one node. Round schedule
+/// for L-edge augmentations, C gain classes and T MIS iterations/class:
+///   [0, 2L)                          view flooding
+///   [2L, 2L + C*T*2L)                per-class MIS emulation
+///   [2L(CT + 1), ... + L + 2)        augmentation
+class LocalMwmSweepProcess final : public Process {
+ public:
+  LocalMwmSweepProcess(NodeId id, const Graph& g, int max_len, int classes,
+                       int iterations_per_class)
+      : id_(id),
+        g_(&g),
+        len_(max_len),
+        classes_(classes),
+        iters_(iterations_per_class) {}
+
+  void on_round(Context& ctx, std::span<const Envelope> inbox) override {
+    const int r = ctx.round();
+    const int view_end = 2 * len_;
+    const int mis_end = view_end + classes_ * iters_ * 2 * len_;
+    const int augment_end = mis_end + len_ + 2;
+
+    ingest(ctx, inbox);
+
+    if (r == 0) init_view(ctx);
+    if (r < view_end) {
+      broadcast_view(ctx);
+    } else if (r == view_end) {
+      enumerate_augmentations(ctx);
+      begin_iteration(ctx, 0);
+    } else if (r < mis_end) {
+      const int step = (r - view_end) % (2 * len_);
+      const int block = (r - view_end) / (2 * len_);
+      if (step == 0) {
+        finish_iteration(block - 1);
+        begin_iteration(ctx, block);
+      } else {
+        forward_records(ctx);
+      }
+    } else if (r == mis_end) {
+      finish_iteration(classes_ * iters_ - 1);
+      start_augments(ctx);
+    }
+    halted_ = r >= augment_end;
+  }
+
+  [[nodiscard]] bool halted() const override { return halted_; }
+
+ private:
+  struct AugInfo {
+    std::vector<NodeId> nodes;
+    bool is_cycle = false;
+    Weight gain = 0;
+  };
+
+  // ---- view stage -------------------------------------------------------
+
+  void init_view(Context& ctx) {
+    node_recs_[id_] = ctx.mate_port() >= 0;
+    for (int p = 0; p < ctx.degree(); ++p) {
+      const NodeId u = ctx.neighbor_id(p);
+      const auto key = std::minmax(id_, u);
+      edge_recs_[{key.first, key.second}] = {p == ctx.mate_port(),
+                                             ctx.edge_weight(p)};
+      neighbor_port_[u] = p;
+    }
+  }
+
+  [[nodiscard]] unsigned id_width() const {
+    return bit_width_for(
+        static_cast<std::uint64_t>(std::max(1, g_->node_count() - 1)));
+  }
+
+  void broadcast_view(Context& ctx) {
+    const unsigned idw = id_width();
+    BitWriter w;
+    w.write(kViewMsg, 2);
+    w.write(node_recs_.size(), 32);
+    for (const auto& [v, matched] : node_recs_) {
+      w.write(static_cast<std::uint64_t>(v), idw);
+      w.write_bool(matched);
+    }
+    w.write(edge_recs_.size(), 32);
+    for (const auto& [uv, rec] : edge_recs_) {
+      w.write(static_cast<std::uint64_t>(uv.first), idw);
+      w.write(static_cast<std::uint64_t>(uv.second), idw);
+      w.write_bool(rec.first);
+      w.write(weight_to_bits(rec.second), 64);
+    }
+    const Message msg = Message::from_writer(std::move(w));
+    for (int p = 0; p < ctx.degree(); ++p) ctx.send(p, msg);
+  }
+
+  void ingest(Context& ctx, std::span<const Envelope> inbox) {
+    for (const Envelope& env : inbox) {
+      auto reader = env.msg.reader();
+      switch (reader.read(2)) {
+        case kViewMsg:
+          ingest_view(reader);
+          break;
+        case kMisMsg:
+          ingest_records(reader);
+          break;
+        case kAugmentMsg:
+          ingest_augment(ctx, reader);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  void ingest_view(BitReader& reader) {
+    const unsigned idw = id_width();
+    const auto n_nodes = reader.read(32);
+    for (std::uint64_t i = 0; i < n_nodes; ++i) {
+      const auto v = static_cast<NodeId>(reader.read(idw));
+      node_recs_[v] = reader.read_bool();
+    }
+    const auto n_edges = reader.read(32);
+    for (std::uint64_t i = 0; i < n_edges; ++i) {
+      const auto u = static_cast<NodeId>(reader.read(idw));
+      const auto v = static_cast<NodeId>(reader.read(idw));
+      const bool matched = reader.read_bool();
+      const double weight = bits_to_weight(reader.read(64));
+      edge_recs_[{u, v}] = {matched, weight};
+    }
+  }
+
+  // ---- local stage ------------------------------------------------------
+
+  void enumerate_augmentations(Context& ctx) {
+    // Build the weighted local view with phantom mates for boundary nodes
+    // (same trick as the unweighted LOCAL algorithm).
+    std::vector<NodeId> local_to_global;
+    std::map<NodeId, NodeId> global_to_local;
+    for (const auto& [v, matched] : node_recs_) {
+      global_to_local[v] = static_cast<NodeId>(local_to_global.size());
+      local_to_global.push_back(v);
+    }
+    std::vector<Edge> edges;
+    std::vector<char> edge_matched;
+    for (const auto& [uv, rec] : edge_recs_) {
+      const auto u_it = global_to_local.find(uv.first);
+      const auto v_it = global_to_local.find(uv.second);
+      if (u_it == global_to_local.end() || v_it == global_to_local.end()) {
+        continue;
+      }
+      edges.push_back({u_it->second, v_it->second, rec.second});
+      edge_matched.push_back(rec.first);
+    }
+    std::vector<char> has_matched(local_to_global.size(), false);
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (!edge_matched[i]) continue;
+      has_matched[static_cast<std::size_t>(edges[i].u)] = true;
+      has_matched[static_cast<std::size_t>(edges[i].v)] = true;
+    }
+    auto total = static_cast<NodeId>(local_to_global.size());
+    std::vector<EdgeId> phantom;
+    for (const auto& [v, matched] : node_recs_) {
+      const NodeId lv = global_to_local.at(v);
+      if (matched && !has_matched[static_cast<std::size_t>(lv)]) {
+        phantom.push_back(static_cast<EdgeId>(edges.size()));
+        // Huge phantom weight: dropping an invisible matched edge must
+        // never look profitable.
+        edges.push_back({lv, total++, 1e30});
+      }
+    }
+    const Graph view = Graph::from_edges(total, std::move(edges));
+    Matching vm(view.node_count());
+    for (EdgeId e = 0; e < static_cast<EdgeId>(edge_matched.size()); ++e) {
+      if (edge_matched[static_cast<std::size_t>(e)]) vm.add(view, e);
+    }
+    for (EdgeId e : phantom) vm.add(view, e);
+
+    const auto raw = enumerate_alternating_augmentations(view, vm, len_);
+    for (const Augmentation& aug : raw) {
+      const Weight g = gain(view, vm, aug.edges);
+      if (g <= 0) continue;
+      std::vector<NodeId> seq;
+      seq.reserve(aug.nodes.size());
+      bool in_view = true;
+      for (NodeId lv : aug.nodes) {
+        if (lv >= static_cast<NodeId>(local_to_global.size())) {
+          in_view = false;  // touches a phantom: not a real augmentation
+          break;
+        }
+        seq.push_back(local_to_global[static_cast<std::size_t>(lv)]);
+      }
+      if (!in_view) continue;
+      const std::uint64_t sig = sequence_signature(seq);
+      AugInfo info;
+      info.nodes = seq;
+      info.is_cycle = aug.is_cycle;
+      info.gain = g;
+      // Owner = the canonical front node: an endpoint for paths (it sees
+      // the whole augmentation within its radius-len view and can start
+      // the trace-back along the path), the minimum node for cycles.
+      const NodeId leader = all_augs_.try_emplace(sig, std::move(info))
+                                .first->second.nodes.front();
+      if (leader == id_) own_augs_.push_back(sig);
+    }
+    // Conflict sets for owned augmentations.
+    for (const auto& [sig, info] : all_augs_) {
+      std::set<NodeId> nodes(info.nodes.begin(), info.nodes.end());
+      for (const std::uint64_t own : own_augs_) {
+        if (own == sig) continue;
+        const auto& mine = all_augs_[own].nodes;
+        if (std::any_of(mine.begin(), mine.end(), [&nodes](NodeId v) {
+              return nodes.count(v) > 0;
+            })) {
+          conflicts_[own].insert(sig);
+        }
+      }
+    }
+    // Gain classes relative to the global weight bound (known to all
+    // nodes): class c holds gains in (G / 2^(c+1), G / 2^c].
+    const double bound = gain_bound(ctx);
+    for (const std::uint64_t own : own_augs_) {
+      status_[own] = AugStatus::kUndecided;
+      conflicts_.try_emplace(own);
+      const double g = all_augs_[own].gain;
+      int cls = g >= bound ? 0
+                           : static_cast<int>(std::floor(std::log2(bound / g)));
+      class_of_[own] =
+          static_cast<std::uint8_t>(std::clamp(cls, 0, classes_ - 1));
+    }
+  }
+
+  double gain_bound(Context& ctx) const {
+    // All nodes know W_max; the maximum single-augmentation gain is at
+    // most (k+1) * W_max <= len_ * W_max. Using the same bound everywhere
+    // keeps the classes globally consistent.
+    double w_max = 0;
+    for (const auto& [uv, rec] : edge_recs_) {
+      if (rec.second < 1e29) w_max = std::max(w_max, rec.second);
+    }
+    (void)ctx;
+    return std::max(1e-12, w_max * len_);
+  }
+
+  // ---- class-by-class MIS emulation --------------------------------------
+
+  void begin_iteration(Context& ctx, int block) {
+    (void)block;
+    iteration_records_.clear();
+    forwarded_.clear();
+    for (const std::uint64_t own : own_augs_) {
+      AugRecord rec;
+      rec.leader = id_;
+      rec.status = status_[own];
+      rec.gain_class = class_of_[own];
+      rec.value = ctx.rng()();
+      iteration_records_[own] = rec;
+    }
+    forward_records(ctx);
+  }
+
+  void forward_records(Context& ctx) {
+    std::vector<std::pair<std::uint64_t, AugRecord>> fresh;
+    for (const auto& [sig, rec] : iteration_records_) {
+      if (forwarded_.insert(sig).second) fresh.emplace_back(sig, rec);
+    }
+    if (fresh.empty()) return;
+    const unsigned idw = id_width();
+    BitWriter w;
+    w.write(kMisMsg, 2);
+    w.write(fresh.size(), 32);
+    for (const auto& [sig, rec] : fresh) {
+      w.write(sig, 64);
+      w.write(rec.value, 64);
+      w.write(static_cast<std::uint64_t>(rec.leader), idw);
+      w.write(static_cast<std::uint64_t>(rec.status), 2);
+      w.write(rec.gain_class, 8);
+    }
+    const Message msg = Message::from_writer(std::move(w));
+    for (int p = 0; p < ctx.degree(); ++p) ctx.send(p, msg);
+  }
+
+  void ingest_records(BitReader& reader) {
+    const unsigned idw = id_width();
+    const auto count = reader.read(32);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::uint64_t sig = reader.read(64);
+      AugRecord rec;
+      rec.value = reader.read(64);
+      rec.leader = static_cast<NodeId>(reader.read(idw));
+      rec.status = static_cast<AugStatus>(reader.read(2));
+      rec.gain_class = static_cast<std::uint8_t>(reader.read(8));
+      iteration_records_.try_emplace(sig, rec);
+    }
+  }
+
+  void finish_iteration(int block) {
+    if (block < 0) return;
+    const int cls = block / iters_;
+    for (const std::uint64_t own : own_augs_) {
+      if (status_[own] != AugStatus::kUndecided) continue;
+      // Blocked by any selected neighbor, regardless of class.
+      bool blocked = false;
+      bool is_local_max = class_of_[own] == cls;
+      const auto mine_it = iteration_records_.find(own);
+      for (const std::uint64_t other : conflicts_[own]) {
+        const auto it = iteration_records_.find(other);
+        if (it == iteration_records_.end()) {
+          is_local_max = false;  // conservative on missing records
+          continue;
+        }
+        if (it->second.status == AugStatus::kIn) {
+          blocked = true;
+          break;
+        }
+        if (it->second.status != AugStatus::kUndecided) continue;
+        if (it->second.gain_class != cls) continue;  // not competing now
+        const auto mine_key =
+            std::make_tuple(mine_it->second.value, mine_it->second.leader, own);
+        const auto other_key =
+            std::make_tuple(it->second.value, it->second.leader, other);
+        if (other_key > mine_key) is_local_max = false;
+      }
+      if (blocked) {
+        status_[own] = AugStatus::kOut;
+      } else if (is_local_max) {
+        status_[own] = AugStatus::kIn;
+        for (const std::uint64_t sib : own_augs_) {
+          if (sib != own && status_[sib] == AugStatus::kUndecided &&
+              conflicts_[own].count(sib) > 0) {
+            status_[sib] = AugStatus::kOut;
+          }
+        }
+      }
+    }
+  }
+
+  // ---- augment stage ------------------------------------------------------
+
+  void start_augments(Context& ctx) {
+    for (const std::uint64_t own : own_augs_) {
+      if (status_[own] != AugStatus::kIn) continue;
+      const AugInfo& info = all_augs_[own];
+      apply_flip(ctx, info);
+      forward_augment(ctx, info, /*my_index=*/0);
+    }
+  }
+
+  void ingest_augment(Context& ctx, BitReader& reader) {
+    const unsigned idw = id_width();
+    const bool is_cycle = reader.read_bool();
+    const auto len = reader.read(16);
+    AugInfo info;
+    info.is_cycle = is_cycle;
+    info.nodes.reserve(len);
+    for (std::uint64_t i = 0; i < len; ++i) {
+      info.nodes.push_back(static_cast<NodeId>(reader.read(idw)));
+    }
+    // Our position: first unvisited occurrence past index 0.
+    std::size_t index = 0;
+    for (std::size_t i = 1; i < info.nodes.size(); ++i) {
+      if (info.nodes[i] == id_) {
+        index = i;
+        break;
+      }
+    }
+    DMATCH_ASSERT(index > 0);
+    // A cycle's trace-back ends when it reaches the leader again.
+    if (is_cycle && index + 1 == info.nodes.size()) return;
+    apply_flip(ctx, info, index);
+    forward_augment(ctx, info, index);
+  }
+
+  /// The node sequence describes the augmentation; the flip rule at a node
+  /// is local: the new mate sits across the adjacent *non-matching* edge
+  /// (after the flip it becomes matching); a path endpoint whose only
+  /// adjacent augmentation edge was matched ends up free.
+  void apply_flip(Context& ctx, const AugInfo& info, std::size_t index = 0) {
+    const auto& seq = info.nodes;
+    const std::size_t last = seq.size() - 1;
+    auto edge_is_matched = [&](std::size_t i) {
+      const auto key = std::minmax(seq[i], seq[i + 1]);
+      const auto it = edge_recs_.find({key.first, key.second});
+      DMATCH_ASSERT(it != edge_recs_.end());
+      return it->second.first;
+    };
+    NodeId new_mate = kNoNode;
+    if (info.is_cycle) {
+      // seq[last] duplicates seq[0]; a cycle node at index i < last has
+      // edges (i-1, i) -- wrapping to (last-1, last) for i = 0 -- and
+      // (i, i+1). Exactly one is non-matching; the new mate is across it.
+      DMATCH_ASSERT(index < last);
+      const std::size_t prev_edge = index == 0 ? last - 1 : index - 1;
+      if (!edge_is_matched(prev_edge)) {
+        new_mate = index == 0 ? seq[last - 1] : seq[index - 1];
+      } else {
+        DMATCH_ASSERT(!edge_is_matched(index));
+        new_mate = seq[index + 1];
+      }
+    } else {
+      const bool has_left = index > 0;
+      const bool has_right = index < last;
+      if (has_left && !edge_is_matched(index - 1)) {
+        new_mate = seq[index - 1];
+      } else if (has_right && !edge_is_matched(index)) {
+        new_mate = seq[index + 1];
+      } else {
+        new_mate = kNoNode;  // endpoint of a matched end edge: now free
+      }
+    }
+    if (new_mate == kNoNode) {
+      ctx.clear_mate();
+    } else {
+      const auto it = neighbor_port_.find(new_mate);
+      DMATCH_ASSERT(it != neighbor_port_.end());
+      ctx.set_mate_port(it->second);
+    }
+  }
+
+  void forward_augment(Context& ctx, const AugInfo& info,
+                       std::size_t my_index) {
+    if (my_index + 1 >= info.nodes.size()) return;
+    const unsigned idw = id_width();
+    BitWriter w;
+    w.write(kAugmentMsg, 2);
+    w.write_bool(info.is_cycle);
+    w.write(info.nodes.size(), 16);
+    for (NodeId v : info.nodes) w.write(static_cast<std::uint64_t>(v), idw);
+    const auto it = neighbor_port_.find(info.nodes[my_index + 1]);
+    DMATCH_ASSERT(it != neighbor_port_.end());
+    ctx.send(it->second, Message::from_writer(std::move(w)));
+  }
+
+  const NodeId id_;
+  const Graph* g_;
+  const int len_;
+  const int classes_;
+  const int iters_;
+
+  std::map<NodeId, bool> node_recs_;
+  std::map<std::pair<NodeId, NodeId>, std::pair<bool, Weight>> edge_recs_;
+  std::map<NodeId, int> neighbor_port_;
+
+  std::map<std::uint64_t, AugInfo> all_augs_;
+  std::vector<std::uint64_t> own_augs_;
+  std::map<std::uint64_t, std::set<std::uint64_t>> conflicts_;
+  std::map<std::uint64_t, AugStatus> status_;
+  std::map<std::uint64_t, std::uint8_t> class_of_;
+
+  std::map<std::uint64_t, AugRecord> iteration_records_;
+  std::set<std::uint64_t> forwarded_;
+
+  bool halted_ = false;
+};
+
+}  // namespace
+
+LocalMwmResult local_one_minus_eps_mwm(const Graph& g,
+                                       const LocalMwmOptions& options) {
+  DMATCH_EXPECTS(options.epsilon > 0 && options.epsilon <= 1);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) DMATCH_EXPECTS(g.weight(e) > 0);
+
+  const int k = static_cast<int>(std::ceil(1.0 / options.epsilon));
+  const int len = 2 * k + 1;
+  const int classes = static_cast<int>(std::ceil(
+                          std::log2(std::max(4.0, 2.0 * g.node_count() /
+                                                      options.epsilon)))) +
+                      1;
+  const double log_objects =
+      (len + 1) * std::log2(std::max(2, g.node_count()));
+  const int iters = static_cast<int>(
+      std::ceil(options.mis_budget_factor * std::max(2.0, log_objects)));
+  const int sweep_budget =
+      options.max_sweeps > 0
+          ? options.max_sweeps
+          : static_cast<int>(std::ceil(4.0 / options.epsilon));
+
+  LocalMwmResult result;
+  result.guarantee = static_cast<double>(k) / (k + 1);
+  congest::Network net(g, congest::Model::kLocal, options.seed);
+
+  const int rounds_per_sweep =
+      2 * len + classes * iters * 2 * len + len + 4;
+  const int hard_cap = sweep_budget + 8 * sweep_budget;
+
+  for (int sweep = 0; sweep < hard_cap; ++sweep) {
+    if (options.adaptive_sweeps) {
+      // Oracle: stop when no positive-gain augmentation of <= len edges
+      // remains; Lemma 4.2 then certifies w(M) >= k/(k+1) w(M*).
+      const Matching m = net.extract_matching();
+      bool any_positive = false;
+      for (const Augmentation& aug :
+           enumerate_alternating_augmentations(g, m, len)) {
+        if (gain(g, m, aug.edges) > 1e-12) {
+          any_positive = true;
+          break;
+        }
+      }
+      if (!any_positive) break;
+    } else if (sweep >= sweep_budget) {
+      break;
+    }
+    ++result.sweeps;
+    result.stats.merge(net.run(
+        [&g, len, classes, iters](NodeId v, const Graph&) {
+          return std::make_unique<LocalMwmSweepProcess>(v, g, len, classes,
+                                                        iters);
+        },
+        rounds_per_sweep));
+  }
+
+  result.matching = net.extract_matching();
+  return result;
+}
+
+}  // namespace dmatch

@@ -1,0 +1,54 @@
+#include "core/wrap_gain.hpp"
+
+#include <algorithm>
+
+namespace dmatch {
+
+std::vector<EdgeId> wrap(const Graph& g, const Matching& m, EdgeId e) {
+  DMATCH_EXPECTS(!m.contains(g, e));
+  const Edge& ed = g.edge(e);
+  std::vector<EdgeId> path;
+  if (m.is_matched(ed.u)) path.push_back(m.matched_edge(ed.u));
+  path.push_back(e);
+  if (m.is_matched(ed.v)) path.push_back(m.matched_edge(ed.v));
+  return path;
+}
+
+Weight gain(const Graph& g, const Matching& m, std::span<const EdgeId> p) {
+  Weight delta = 0;
+  for (EdgeId e : p) {
+    delta += m.contains(g, e) ? -g.weight(e) : g.weight(e);
+  }
+  return delta;
+}
+
+std::vector<Weight> gain_weights(const Graph& g, const Matching& m) {
+  std::vector<Weight> w(static_cast<std::size_t>(g.edge_count()), 0);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (m.contains(g, e)) continue;
+    const Edge& ed = g.edge(e);
+    Weight delta = g.weight(e);
+    if (m.is_matched(ed.u)) delta -= g.weight(m.matched_edge(ed.u));
+    if (m.is_matched(ed.v)) delta -= g.weight(m.matched_edge(ed.v));
+    w[static_cast<std::size_t>(e)] = delta;
+  }
+  return w;
+}
+
+Matching apply_wraps(const Graph& g, const Matching& m,
+                     std::span<const EdgeId> m_prime) {
+  // Union of the wraps, deduplicated (wraps may overlap at M edges).
+  std::vector<EdgeId> wrap_union;
+  for (EdgeId e : m_prime) {
+    for (EdgeId we : wrap(g, m, e)) wrap_union.push_back(we);
+  }
+  std::sort(wrap_union.begin(), wrap_union.end());
+  wrap_union.erase(std::unique(wrap_union.begin(), wrap_union.end()),
+                   wrap_union.end());
+
+  Matching out = m;
+  out.symmetric_difference(g, wrap_union);
+  return out;
+}
+
+}  // namespace dmatch

@@ -1,0 +1,33 @@
+// Section 4 preliminaries: wrap(e) paths and the gain weight function w_M.
+//
+// For an edge (r, s) not in M, wrap(r, s) is the path consisting of
+// (M(r), r), (r, s), (s, M(s)) -- whichever of the outer edges exist -- and
+//   w_M(r, s) = g(wrap(r, s)) = w(r,s) - w(M(r),r) - w(s,M(s))
+// is the change in matching weight if M is augmented along wrap(r, s).
+// Matched edges get w_M = 0.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/matching.hpp"
+
+namespace dmatch {
+
+/// The (1 to 3) edges of wrap(e) w.r.t. m. Requires e not in m.
+std::vector<EdgeId> wrap(const Graph& g, const Matching& m, EdgeId e);
+
+/// Gain of augmenting m along an arbitrary edge set p:
+/// g(p) = w(M (+) p) - w(M).
+Weight gain(const Graph& g, const Matching& m, std::span<const EdgeId> p);
+
+/// The full gain weight function: w_M per edge (0 for matched edges).
+std::vector<Weight> gain_weights(const Graph& g, const Matching& m);
+
+/// Lemma 4.1 application: M <- M (+) union of wrap(e) for e in m_prime
+/// (edge ids of a matching disjoint from m). Deduplicates overlapping
+/// matched edges as the paper prescribes. Returns the updated matching.
+Matching apply_wraps(const Graph& g, const Matching& m,
+                     std::span<const EdgeId> m_prime);
+
+}  // namespace dmatch

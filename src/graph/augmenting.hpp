@@ -1,0 +1,61 @@
+// Centralized augmenting-path oracles.
+//
+// These are *verification* tools: the tests use them to check the phase
+// invariant of Lemma 3.2 ("after phase ell no augmenting path of length
+// <= ell remains"), and the LOCAL generic algorithm uses the enumerator on
+// each leader's local view (where it is a legitimate local computation).
+// General-graph enumeration is exponential in the path length, which is
+// fine: the paper only ever looks at lengths up to 2*ceil(1/eps) - 1.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/matching.hpp"
+
+namespace dmatch {
+
+/// All simple augmenting paths w.r.t. m of length <= max_len (edges),
+/// each as a sequence of edge ids from one free endpoint to the other.
+/// Each path is reported once (from its smaller-id endpoint). Enumeration
+/// stops after max_count paths (0 = unlimited).
+std::vector<std::vector<EdgeId>> enumerate_augmenting_paths(
+    const Graph& g, const Matching& m, int max_len,
+    std::size_t max_count = 0);
+
+/// Length (edge count) of the shortest augmenting path w.r.t. m, searching
+/// lengths 1, 3, ..., cap. nullopt if none of length <= cap exists.
+std::optional<int> shortest_augmenting_path_length(const Graph& g,
+                                                   const Matching& m,
+                                                   int cap);
+
+/// Exact shortest augmenting path length in a bipartite graph (layered BFS,
+/// works at any scale). `side[v]` in {0,1}. nullopt if no augmenting path.
+std::optional<int> bipartite_shortest_augmenting_path_length(
+    const Graph& g, const std::vector<std::uint8_t>& side, const Matching& m);
+
+/// Greedily select a maximal set of pairwise node-disjoint paths from
+/// `paths` (used as a sequential reference for "maximal set of augmenting
+/// paths" in tests).
+std::vector<std::vector<EdgeId>> greedy_disjoint_paths(
+    const Graph& g, const std::vector<std::vector<EdgeId>>& paths);
+
+/// A weighted *augmentation* in the Hougardy-Vinkemeier sense (the paper's
+/// Section 4 remark): an alternating path or cycle A such that M (+) A is
+/// again a matching. Path ends are either free nodes (entered by a
+/// non-matching edge) or get unmatched (path ends with their matched edge).
+struct Augmentation {
+  std::vector<EdgeId> edges;   // in path/cycle order
+  std::vector<NodeId> nodes;   // canonical node sequence (cycles repeat the
+                               // first node at the end)
+  bool is_cycle = false;
+};
+
+/// Enumerate all alternating augmentations with at most max_len edges,
+/// each reported once in canonical orientation. Requires max_len >= 1.
+/// Enumeration stops after max_count augmentations (0 = unlimited).
+std::vector<Augmentation> enumerate_alternating_augmentations(
+    const Graph& g, const Matching& m, int max_len, std::size_t max_count = 0);
+
+}  // namespace dmatch

@@ -1,0 +1,156 @@
+#include "graph/blossom.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace dmatch {
+
+namespace {
+
+/// Classic array-based blossom implementation: grow alternating trees from
+/// each free vertex, contracting odd cycles (blossoms) on the fly via the
+/// `base` array.
+class Blossom {
+ public:
+  explicit Blossom(const Graph& g)
+      : g_(g),
+        n_(static_cast<std::size_t>(g.node_count())),
+        mate_(n_, kNoNode),
+        parent_(n_, kNoNode),
+        base_(n_, 0),
+        in_queue_(n_, false),
+        in_blossom_(n_, false) {}
+
+  Matching solve() {
+    for (NodeId v = 0; v < g_.node_count(); ++v) {
+      if (mate_[static_cast<std::size_t>(v)] == kNoNode) find_augmenting_path(v);
+    }
+    std::vector<EdgeId> edges;
+    for (NodeId v = 0; v < g_.node_count(); ++v) {
+      const NodeId m = mate_[static_cast<std::size_t>(v)];
+      if (m != kNoNode && v < m) edges.push_back(g_.find_edge(v, m));
+    }
+    return Matching::from_edge_ids(g_, edges);
+  }
+
+ private:
+  NodeId lowest_common_ancestor(NodeId a, NodeId b) {
+    std::vector<char> used(n_, false);
+    // Walk up from a marking bases, then walk up from b to the first mark.
+    NodeId v = a;
+    for (;;) {
+      v = base_[static_cast<std::size_t>(v)];
+      used[static_cast<std::size_t>(v)] = true;
+      if (mate_[static_cast<std::size_t>(v)] == kNoNode) break;
+      v = parent_[static_cast<std::size_t>(
+          mate_[static_cast<std::size_t>(v)])];
+    }
+    v = b;
+    for (;;) {
+      v = base_[static_cast<std::size_t>(v)];
+      if (used[static_cast<std::size_t>(v)]) return v;
+      v = parent_[static_cast<std::size_t>(
+          mate_[static_cast<std::size_t>(v)])];
+    }
+  }
+
+  void mark_path(NodeId v, NodeId lca, NodeId child) {
+    while (base_[static_cast<std::size_t>(v)] != lca) {
+      const NodeId m = mate_[static_cast<std::size_t>(v)];
+      in_blossom_[static_cast<std::size_t>(base_[static_cast<std::size_t>(v)])] =
+          true;
+      in_blossom_[static_cast<std::size_t>(base_[static_cast<std::size_t>(m)])] =
+          true;
+      parent_[static_cast<std::size_t>(v)] = child;
+      child = m;
+      v = parent_[static_cast<std::size_t>(m)];
+    }
+  }
+
+  void contract(NodeId a, NodeId b, std::queue<NodeId>& queue) {
+    const NodeId lca = lowest_common_ancestor(a, b);
+    std::fill(in_blossom_.begin(), in_blossom_.end(), false);
+    mark_path(a, lca, b);
+    mark_path(b, lca, a);
+    for (NodeId v = 0; v < g_.node_count(); ++v) {
+      if (!in_blossom_[static_cast<std::size_t>(
+              base_[static_cast<std::size_t>(v)])]) {
+        continue;
+      }
+      base_[static_cast<std::size_t>(v)] = lca;
+      if (!in_queue_[static_cast<std::size_t>(v)]) {
+        in_queue_[static_cast<std::size_t>(v)] = true;
+        queue.push(v);
+      }
+    }
+  }
+
+  void find_augmenting_path(NodeId root) {
+    std::fill(parent_.begin(), parent_.end(), kNoNode);
+    std::fill(in_queue_.begin(), in_queue_.end(), false);
+    for (NodeId v = 0; v < g_.node_count(); ++v) {
+      base_[static_cast<std::size_t>(v)] = v;
+    }
+    std::queue<NodeId> queue;
+    queue.push(root);
+    in_queue_[static_cast<std::size_t>(root)] = true;
+
+    while (!queue.empty()) {
+      const NodeId v = queue.front();
+      queue.pop();
+      for (EdgeId e : g_.incident_edges(v)) {
+        const NodeId u = g_.other_endpoint(e, v);
+        if (base_[static_cast<std::size_t>(v)] ==
+                base_[static_cast<std::size_t>(u)] ||
+            mate_[static_cast<std::size_t>(v)] == u) {
+          continue;  // same blossom or the matched edge itself
+        }
+        if (u == root ||
+            (mate_[static_cast<std::size_t>(u)] != kNoNode &&
+             parent_[static_cast<std::size_t>(
+                 mate_[static_cast<std::size_t>(u)])] != kNoNode)) {
+          // u is an even (outer) vertex: odd cycle found; contract.
+          contract(v, u, queue);
+        } else if (parent_[static_cast<std::size_t>(u)] == kNoNode) {
+          // u unvisited and matched: extend the tree by two levels.
+          parent_[static_cast<std::size_t>(u)] = v;
+          const NodeId m = mate_[static_cast<std::size_t>(u)];
+          if (m == kNoNode) {
+            // u free: augmenting path root ~> v - u found.
+            augment(u);
+            return;
+          }
+          if (!in_queue_[static_cast<std::size_t>(m)]) {
+            in_queue_[static_cast<std::size_t>(m)] = true;
+            queue.push(m);
+          }
+        }
+      }
+    }
+  }
+
+  void augment(NodeId u) {
+    // Flip matched status along the alternating path encoded by parent_.
+    while (u != kNoNode) {
+      const NodeId pv = parent_[static_cast<std::size_t>(u)];
+      const NodeId ppv = mate_[static_cast<std::size_t>(pv)];
+      mate_[static_cast<std::size_t>(u)] = pv;
+      mate_[static_cast<std::size_t>(pv)] = u;
+      u = ppv;
+    }
+  }
+
+  const Graph& g_;
+  std::size_t n_;
+  std::vector<NodeId> mate_;
+  std::vector<NodeId> parent_;
+  std::vector<NodeId> base_;
+  std::vector<char> in_queue_;
+  std::vector<char> in_blossom_;
+};
+
+}  // namespace
+
+Matching blossom_mcm(const Graph& g) { return Blossom(g).solve(); }
+
+}  // namespace dmatch

@@ -1,0 +1,16 @@
+// Edmonds' blossom algorithm: maximum cardinality matching in general
+// graphs, O(V^3).
+//
+// Reference optimum for the general-graph experiments (E3, E4): Algorithm 4
+// claims a (1 - 1/k)-MCM on arbitrary graphs, and this solver supplies |M*|.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "graph/matching.hpp"
+
+namespace dmatch {
+
+/// Maximum cardinality matching of an arbitrary simple graph.
+Matching blossom_mcm(const Graph& g);
+
+}  // namespace dmatch

@@ -1,0 +1,53 @@
+#include "graph/exact_small.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <vector>
+
+namespace dmatch {
+
+namespace {
+
+/// f[mask] = best matching value inside the induced subgraph on `mask`,
+/// where edge e contributes value[e].
+std::vector<double> subset_dp(const Graph& g,
+                              const std::vector<double>& value) {
+  const int n = g.node_count();
+  DMATCH_EXPECTS(n <= 20);
+  const std::size_t size = std::size_t{1} << n;
+  std::vector<double> f(size, 0.0);
+  for (std::size_t mask = 1; mask < size; ++mask) {
+    const int i = std::countr_zero(mask);
+    // Option 1: node i stays unmatched.
+    double best = f[mask & (mask - 1)];
+    // Option 2: match i to a neighbor inside the mask.
+    for (EdgeId e : g.incident_edges(static_cast<NodeId>(i))) {
+      const NodeId j = g.other_endpoint(e, static_cast<NodeId>(i));
+      const std::size_t jbit = std::size_t{1} << j;
+      if ((mask & jbit) == 0) continue;
+      best = std::max(best, value[static_cast<std::size_t>(e)] +
+                                f[mask & ~(std::size_t{1} << i) & ~jbit]);
+    }
+    f[mask] = best;
+  }
+  return f;
+}
+
+}  // namespace
+
+Weight exact_mwm_value(const Graph& g) {
+  std::vector<double> value(static_cast<std::size_t>(g.edge_count()));
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    value[static_cast<std::size_t>(e)] = g.weight(e);
+  }
+  if (g.node_count() == 0) return 0;
+  return subset_dp(g, value).back();
+}
+
+std::size_t exact_mcm_value(const Graph& g) {
+  std::vector<double> value(static_cast<std::size_t>(g.edge_count()), 1.0);
+  if (g.node_count() == 0) return 0;
+  return static_cast<std::size_t>(subset_dp(g, value).back() + 0.5);
+}
+
+}  // namespace dmatch

@@ -1,0 +1,19 @@
+// Exponential exact matching oracles for tiny graphs (n <= 20).
+//
+// Bitmask dynamic program over node subsets, O(2^n * Delta). These are the
+// ground truth used to validate every other solver in this repository,
+// including Blossom and Hungarian, and the weighted experiments on small
+// general graphs (where no polynomial exact MWM solver is provided).
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace dmatch {
+
+/// Maximum possible total weight of a matching. Requires n <= 20.
+Weight exact_mwm_value(const Graph& g);
+
+/// Maximum possible cardinality of a matching. Requires n <= 20.
+std::size_t exact_mcm_value(const Graph& g);
+
+}  // namespace dmatch

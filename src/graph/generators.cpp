@@ -1,0 +1,244 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+
+namespace dmatch::gen {
+
+namespace {
+
+/// Sample each candidate pair independently with probability p using
+/// geometric skipping, so sparse graphs cost O(m) instead of O(n^2).
+template <typename EmitPair>
+void sample_pairs(std::uint64_t total_pairs, double p, Rng& rng,
+                  EmitPair&& emit) {
+  if (p <= 0.0 || total_pairs == 0) return;
+  if (p >= 1.0) {
+    for (std::uint64_t i = 0; i < total_pairs; ++i) emit(i);
+    return;
+  }
+  const double log1mp = std::log1p(-p);
+  std::uint64_t i = 0;
+  for (;;) {
+    const double u = rng.uniform01();
+    const double skip = std::floor(std::log1p(-u) / log1mp);
+    if (skip >= static_cast<double>(total_pairs - i)) return;
+    i += static_cast<std::uint64_t>(skip);
+    emit(i);
+    if (++i >= total_pairs) return;
+  }
+}
+
+}  // namespace
+
+Graph gnp(NodeId n, double p, std::uint64_t seed) {
+  DMATCH_EXPECTS(n >= 0);
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(n) * (static_cast<std::uint64_t>(n) - 1) / 2;
+  sample_pairs(n >= 2 ? total : 0, p, rng, [&](std::uint64_t index) {
+    // Invert the row-major enumeration of pairs (u < v).
+    const double row =
+        std::floor((std::sqrt(8.0 * static_cast<double>(index) + 1.0) + 1.0) /
+                   2.0);
+    auto v = static_cast<NodeId>(row);
+    auto u = static_cast<NodeId>(index -
+                                 static_cast<std::uint64_t>(v) *
+                                     (static_cast<std::uint64_t>(v) - 1) / 2);
+    // Guard against floating point off-by-one at triangle boundaries.
+    while (static_cast<std::uint64_t>(v) * (static_cast<std::uint64_t>(v) - 1) /
+               2 >
+           index) {
+      --v;
+    }
+    while (static_cast<std::uint64_t>(v + 1) * static_cast<std::uint64_t>(v) /
+               2 <=
+           index) {
+      ++v;
+    }
+    u = static_cast<NodeId>(index - static_cast<std::uint64_t>(v) *
+                                        (static_cast<std::uint64_t>(v) - 1) /
+                                        2);
+    edges.push_back({u, v, 1.0});
+  });
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph bipartite_gnp(NodeId nx, NodeId ny, double p, std::uint64_t seed) {
+  DMATCH_EXPECTS(nx >= 0 && ny >= 0);
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  sample_pairs(static_cast<std::uint64_t>(nx) * static_cast<std::uint64_t>(ny),
+               p, rng, [&](std::uint64_t index) {
+                 const auto x = static_cast<NodeId>(
+                     index / static_cast<std::uint64_t>(ny));
+                 const auto y = static_cast<NodeId>(
+                     index % static_cast<std::uint64_t>(ny));
+                 edges.push_back({x, static_cast<NodeId>(nx + y), 1.0});
+               });
+  return Graph::from_edges(nx + ny, std::move(edges));
+}
+
+Graph cycle(NodeId n) {
+  DMATCH_EXPECTS(n >= 3);
+  std::vector<Edge> edges;
+  for (NodeId v = 0; v < n; ++v) {
+    edges.push_back({v, static_cast<NodeId>((v + 1) % n), 1.0});
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph path(NodeId n) {
+  DMATCH_EXPECTS(n >= 1);
+  std::vector<Edge> edges;
+  for (NodeId v = 0; v + 1 < n; ++v) {
+    edges.push_back({v, static_cast<NodeId>(v + 1), 1.0});
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph grid(NodeId rows, NodeId cols) {
+  DMATCH_EXPECTS(rows >= 1 && cols >= 1);
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  std::vector<Edge> edges;
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.push_back({id(r, c), id(r, c + 1), 1.0});
+      if (r + 1 < rows) edges.push_back({id(r, c), id(r + 1, c), 1.0});
+    }
+  }
+  return Graph::from_edges(rows * cols, std::move(edges));
+}
+
+Graph complete(NodeId n) {
+  DMATCH_EXPECTS(n >= 1);
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) edges.push_back({u, v, 1.0});
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph complete_bipartite(NodeId a, NodeId b) {
+  DMATCH_EXPECTS(a >= 0 && b >= 0);
+  std::vector<Edge> edges;
+  for (NodeId x = 0; x < a; ++x) {
+    for (NodeId y = 0; y < b; ++y) {
+      edges.push_back({x, static_cast<NodeId>(a + y), 1.0});
+    }
+  }
+  return Graph::from_edges(a + b, std::move(edges));
+}
+
+Graph random_tree(NodeId n, std::uint64_t seed) {
+  DMATCH_EXPECTS(n >= 1);
+  if (n == 1) return Graph::from_edges(1, {});
+  if (n == 2) return Graph::from_edges(2, {{0, 1, 1.0}});
+  Rng rng(seed);
+  std::vector<NodeId> pruefer(static_cast<std::size_t>(n) - 2);
+  for (auto& x : pruefer) {
+    x = static_cast<NodeId>(rng.uniform(static_cast<std::uint64_t>(n)));
+  }
+  std::vector<int> deg(static_cast<std::size_t>(n), 1);
+  for (NodeId x : pruefer) ++deg[static_cast<std::size_t>(x)];
+  std::set<NodeId> leaves;
+  for (NodeId v = 0; v < n; ++v) {
+    if (deg[static_cast<std::size_t>(v)] == 1) leaves.insert(v);
+  }
+  std::vector<Edge> edges;
+  for (NodeId x : pruefer) {
+    const NodeId leaf = *leaves.begin();
+    leaves.erase(leaves.begin());
+    edges.push_back({leaf, x, 1.0});
+    if (--deg[static_cast<std::size_t>(x)] == 1) leaves.insert(x);
+  }
+  const NodeId a = *leaves.begin();
+  const NodeId b = *std::next(leaves.begin());
+  edges.push_back({a, b, 1.0});
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph near_regular(NodeId n, int d, std::uint64_t seed) {
+  DMATCH_EXPECTS(n >= 2 && d >= 1 && d < n);
+  Rng rng(seed);
+  // Configuration model: shuffle d copies of each node, pair consecutive
+  // stubs, drop loops and duplicates. Result is near d-regular.
+  std::vector<NodeId> stubs;
+  stubs.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(d));
+  for (NodeId v = 0; v < n; ++v) {
+    for (int i = 0; i < d; ++i) stubs.push_back(v);
+  }
+  for (std::size_t i = stubs.size(); i > 1; --i) {
+    std::swap(stubs[i - 1], stubs[rng.uniform(i)]);
+  }
+  std::set<std::pair<NodeId, NodeId>> seen;
+  std::vector<Edge> edges;
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    NodeId u = stubs[i];
+    NodeId v = stubs[i + 1];
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (seen.insert({u, v}).second) edges.push_back({u, v, 1.0});
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph barabasi_albert(NodeId n, int m, std::uint64_t seed) {
+  DMATCH_EXPECTS(m >= 1 && n > m);
+  Rng rng(seed);
+  // Target list doubles as the preferential-attachment urn.
+  std::vector<NodeId> urn;
+  std::set<std::pair<NodeId, NodeId>> seen;
+  std::vector<Edge> edges;
+  auto add_edge = [&](NodeId u, NodeId v) {
+    if (u > v) std::swap(u, v);
+    if (u == v || !seen.insert({u, v}).second) return;
+    edges.push_back({u, v, 1.0});
+    urn.push_back(u);
+    urn.push_back(v);
+  };
+  // Seed clique on m+1 nodes.
+  for (NodeId u = 0; u <= m; ++u) {
+    for (NodeId v = u + 1; v <= m; ++v) add_edge(u, v);
+  }
+  for (NodeId v = static_cast<NodeId>(m + 1); v < n; ++v) {
+    for (int i = 0; i < m; ++i) {
+      const NodeId target = urn[rng.uniform(urn.size())];
+      add_edge(v, target);
+    }
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph with_uniform_weights(const Graph& g, Weight lo, Weight hi,
+                           std::uint64_t seed) {
+  DMATCH_EXPECTS(lo > 0 && hi >= lo);
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(g.edge_count()));
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    Edge ed = g.edge(e);
+    ed.w = lo + (hi - lo) * rng.uniform01();
+    edges.push_back(ed);
+  }
+  return Graph::from_edges(g.node_count(), std::move(edges));
+}
+
+Graph with_exponential_weights(const Graph& g, double ratio,
+                               std::uint64_t seed) {
+  DMATCH_EXPECTS(ratio >= 1.0);
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(g.edge_count()));
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    Edge ed = g.edge(e);
+    ed.w = std::exp(rng.uniform01() * std::log(ratio));
+    edges.push_back(ed);
+  }
+  return Graph::from_edges(g.node_count(), std::move(edges));
+}
+
+}  // namespace dmatch::gen

@@ -1,0 +1,53 @@
+// Seeded workload generators for tests, benches and examples.
+//
+// All generators are deterministic in (parameters, seed). Weighted variants
+// are produced by layering `with_*_weights` over any topology.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace dmatch::gen {
+
+/// Erdos-Renyi G(n, p).
+Graph gnp(NodeId n, double p, std::uint64_t seed);
+
+/// Random bipartite graph: sides of size nx and ny (node ids 0..nx-1 are
+/// side X, nx..nx+ny-1 are side Y), each cross pair kept with probability p.
+Graph bipartite_gnp(NodeId nx, NodeId ny, double p, std::uint64_t seed);
+
+/// Cycle C_n (n >= 3). C_{2n} is the paper's lower-bound instance.
+Graph cycle(NodeId n);
+
+/// Path P_n with n nodes.
+Graph path(NodeId n);
+
+/// rows x cols grid.
+Graph grid(NodeId rows, NodeId cols);
+
+/// Complete graph K_n.
+Graph complete(NodeId n);
+
+/// Complete bipartite K_{a,b} (ids as in bipartite_gnp).
+Graph complete_bipartite(NodeId a, NodeId b);
+
+/// Uniform random labelled tree (Pruefer sequence).
+Graph random_tree(NodeId n, std::uint64_t seed);
+
+/// Random d-regular-ish graph via the configuration model with rejection of
+/// loops/multi-edges; the result has max degree d and is near-regular.
+Graph near_regular(NodeId n, int d, std::uint64_t seed);
+
+/// Barabasi-Albert preferential attachment: each new node attaches m edges.
+Graph barabasi_albert(NodeId n, int m, std::uint64_t seed);
+
+/// Copy with i.i.d. Uniform(lo, hi) edge weights.
+Graph with_uniform_weights(const Graph& g, Weight lo, Weight hi,
+                           std::uint64_t seed);
+
+/// Copy with heavy-tailed weights: w = exp(Uniform(0, ln(ratio))), so the
+/// max/min weight ratio is about `ratio`. Stresses the weight-class logic.
+Graph with_exponential_weights(const Graph& g, double ratio,
+                               std::uint64_t seed);
+
+}  // namespace dmatch::gen

@@ -1,0 +1,110 @@
+#include "graph/hopcroft_karp.hpp"
+
+#include <limits>
+#include <queue>
+
+namespace dmatch {
+
+namespace {
+
+class HopcroftKarp {
+ public:
+  HopcroftKarp(const Graph& g, const std::vector<std::uint8_t>& side)
+      : g_(g),
+        side_(side),
+        mate_(static_cast<std::size_t>(g.node_count()), kNoNode),
+        dist_(static_cast<std::size_t>(g.node_count()), kInf) {}
+
+  Matching solve() {
+    while (bfs()) {
+      for (NodeId v = 0; v < g_.node_count(); ++v) {
+        if (side_[static_cast<std::size_t>(v)] == 0 &&
+            mate_[static_cast<std::size_t>(v)] == kNoNode) {
+          dfs(v);
+        }
+      }
+    }
+    std::vector<EdgeId> edges;
+    for (NodeId v = 0; v < g_.node_count(); ++v) {
+      if (side_[static_cast<std::size_t>(v)] == 0 &&
+          mate_[static_cast<std::size_t>(v)] != kNoNode) {
+        edges.push_back(g_.find_edge(v, mate_[static_cast<std::size_t>(v)]));
+      }
+    }
+    return Matching::from_edge_ids(g_, edges);
+  }
+
+ private:
+  static constexpr int kInf = std::numeric_limits<int>::max();
+
+  bool bfs() {
+    std::queue<NodeId> queue;
+    for (NodeId v = 0; v < g_.node_count(); ++v) {
+      if (side_[static_cast<std::size_t>(v)] != 0) continue;
+      if (mate_[static_cast<std::size_t>(v)] == kNoNode) {
+        dist_[static_cast<std::size_t>(v)] = 0;
+        queue.push(v);
+      } else {
+        dist_[static_cast<std::size_t>(v)] = kInf;
+      }
+    }
+    bool found_free = false;
+    while (!queue.empty()) {
+      const NodeId v = queue.front();
+      queue.pop();
+      for (EdgeId e : g_.incident_edges(v)) {
+        const NodeId y = g_.other_endpoint(e, v);
+        const NodeId next = mate_[static_cast<std::size_t>(y)];
+        if (next == kNoNode) {
+          found_free = true;
+        } else if (dist_[static_cast<std::size_t>(next)] == kInf) {
+          dist_[static_cast<std::size_t>(next)] =
+              dist_[static_cast<std::size_t>(v)] + 1;
+          queue.push(next);
+        }
+      }
+    }
+    return found_free;
+  }
+
+  bool dfs(NodeId v) {
+    for (EdgeId e : g_.incident_edges(v)) {
+      const NodeId y = g_.other_endpoint(e, v);
+      const NodeId next = mate_[static_cast<std::size_t>(y)];
+      if (next == kNoNode ||
+          (dist_[static_cast<std::size_t>(next)] ==
+               dist_[static_cast<std::size_t>(v)] + 1 &&
+           dfs(next))) {
+        mate_[static_cast<std::size_t>(v)] = y;
+        mate_[static_cast<std::size_t>(y)] = v;
+        return true;
+      }
+    }
+    dist_[static_cast<std::size_t>(v)] = kInf;
+    return false;
+  }
+
+  const Graph& g_;
+  const std::vector<std::uint8_t>& side_;
+  std::vector<NodeId> mate_;
+  std::vector<int> dist_;
+};
+
+}  // namespace
+
+Matching hopcroft_karp(const Graph& g, const std::vector<std::uint8_t>& side) {
+  DMATCH_EXPECTS(side.size() == static_cast<std::size_t>(g.node_count()));
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    DMATCH_EXPECTS(side[static_cast<std::size_t>(g.edge(e).u)] !=
+                   side[static_cast<std::size_t>(g.edge(e).v)]);
+  }
+  return HopcroftKarp(g, side).solve();
+}
+
+Matching hopcroft_karp(const Graph& g) {
+  const auto side = g.bipartition();
+  DMATCH_EXPECTS(side.has_value());
+  return hopcroft_karp(g, *side);
+}
+
+}  // namespace dmatch

@@ -1,0 +1,23 @@
+// Hopcroft-Karp maximum cardinality matching for bipartite graphs.
+//
+// O(E * sqrt(V)). Reference optimum for the bipartite experiments (E1, E2)
+// and the switch example.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/matching.hpp"
+
+namespace dmatch {
+
+/// Maximum cardinality matching of a bipartite graph. `side[v]` in {0,1}
+/// must be a proper 2-coloring (e.g. from Graph::bipartition()).
+Matching hopcroft_karp(const Graph& g, const std::vector<std::uint8_t>& side);
+
+/// Convenience overload: computes the bipartition itself; requires the
+/// graph to be bipartite.
+Matching hopcroft_karp(const Graph& g);
+
+}  // namespace dmatch

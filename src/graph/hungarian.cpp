@@ -1,0 +1,130 @@
+#include "graph/hungarian.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace dmatch {
+
+namespace {
+
+/// Solve min-cost assignment of `rows` rows into `cols >= rows` columns for
+/// a dense cost matrix; returns col_of_row. Classic potential/augmenting
+/// formulation (1-indexed internally).
+std::vector<int> assignment(const std::vector<std::vector<double>>& cost) {
+  const int n = static_cast<int>(cost.size());
+  const int m = n == 0 ? 0 : static_cast<int>(cost[0].size());
+  DMATCH_EXPECTS(m >= n);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  std::vector<double> u(static_cast<std::size_t>(n) + 1, 0.0);
+  std::vector<double> v(static_cast<std::size_t>(m) + 1, 0.0);
+  std::vector<int> p(static_cast<std::size_t>(m) + 1, 0);
+  std::vector<int> way(static_cast<std::size_t>(m) + 1, 0);
+
+  for (int i = 1; i <= n; ++i) {
+    p[0] = i;
+    int j0 = 0;
+    std::vector<double> minv(static_cast<std::size_t>(m) + 1, kInf);
+    std::vector<char> used(static_cast<std::size_t>(m) + 1, false);
+    do {
+      used[static_cast<std::size_t>(j0)] = true;
+      const int i0 = p[static_cast<std::size_t>(j0)];
+      double delta = kInf;
+      int j1 = -1;
+      for (int j = 1; j <= m; ++j) {
+        if (used[static_cast<std::size_t>(j)]) continue;
+        const double cur = cost[static_cast<std::size_t>(i0 - 1)]
+                               [static_cast<std::size_t>(j - 1)] -
+                           u[static_cast<std::size_t>(i0)] -
+                           v[static_cast<std::size_t>(j)];
+        if (cur < minv[static_cast<std::size_t>(j)]) {
+          minv[static_cast<std::size_t>(j)] = cur;
+          way[static_cast<std::size_t>(j)] = j0;
+        }
+        if (minv[static_cast<std::size_t>(j)] < delta) {
+          delta = minv[static_cast<std::size_t>(j)];
+          j1 = j;
+        }
+      }
+      DMATCH_ASSERT(j1 != -1);
+      for (int j = 0; j <= m; ++j) {
+        if (used[static_cast<std::size_t>(j)]) {
+          u[static_cast<std::size_t>(p[static_cast<std::size_t>(j)])] += delta;
+          v[static_cast<std::size_t>(j)] -= delta;
+        } else {
+          minv[static_cast<std::size_t>(j)] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[static_cast<std::size_t>(j0)] != 0);
+    do {
+      const int j1 = way[static_cast<std::size_t>(j0)];
+      p[static_cast<std::size_t>(j0)] = p[static_cast<std::size_t>(j1)];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<int> col_of_row(static_cast<std::size_t>(n), -1);
+  for (int j = 1; j <= m; ++j) {
+    if (p[static_cast<std::size_t>(j)] != 0) {
+      col_of_row[static_cast<std::size_t>(p[static_cast<std::size_t>(j)] - 1)] =
+          j - 1;
+    }
+  }
+  return col_of_row;
+}
+
+}  // namespace
+
+Matching hungarian_mwm(const Graph& g, const std::vector<std::uint8_t>& side) {
+  DMATCH_EXPECTS(side.size() == static_cast<std::size_t>(g.node_count()));
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    DMATCH_EXPECTS(g.weight(e) >= 0);
+    DMATCH_EXPECTS(side[static_cast<std::size_t>(g.edge(e).u)] !=
+                   side[static_cast<std::size_t>(g.edge(e).v)]);
+  }
+  // Collect the two sides; make side A the smaller one (rows).
+  std::vector<NodeId> a_nodes;
+  std::vector<NodeId> b_nodes;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    (side[static_cast<std::size_t>(v)] == 0 ? a_nodes : b_nodes).push_back(v);
+  }
+  if (a_nodes.size() > b_nodes.size()) std::swap(a_nodes, b_nodes);
+  if (a_nodes.empty()) return Matching(g.node_count());
+
+  std::vector<int> col_index(static_cast<std::size_t>(g.node_count()), -1);
+  for (std::size_t j = 0; j < b_nodes.size(); ++j) {
+    col_index[static_cast<std::size_t>(b_nodes[j])] = static_cast<int>(j);
+  }
+
+  // Profit matrix; missing pairs get profit 0 (equivalent to unmatched).
+  std::vector<std::vector<double>> cost(
+      a_nodes.size(), std::vector<double>(b_nodes.size(), 0.0));
+  for (std::size_t i = 0; i < a_nodes.size(); ++i) {
+    const NodeId x = a_nodes[i];
+    for (EdgeId e : g.incident_edges(x)) {
+      const NodeId y = g.other_endpoint(e, x);
+      cost[i][static_cast<std::size_t>(
+          col_index[static_cast<std::size_t>(y)])] = -g.weight(e);
+    }
+  }
+
+  const std::vector<int> col_of_row = assignment(cost);
+  std::vector<EdgeId> chosen;
+  for (std::size_t i = 0; i < a_nodes.size(); ++i) {
+    if (col_of_row[i] < 0) continue;
+    const NodeId y = b_nodes[static_cast<std::size_t>(col_of_row[i])];
+    const EdgeId e = g.find_edge(a_nodes[i], y);
+    // Zero-profit filler cells correspond to "unmatched".
+    if (e != kNoEdge && g.weight(e) > 0) chosen.push_back(e);
+  }
+  return Matching::from_edge_ids(g, chosen);
+}
+
+Matching hungarian_mwm(const Graph& g) {
+  const auto side = g.bipartition();
+  DMATCH_EXPECTS(side.has_value());
+  return hungarian_mwm(g, *side);
+}
+
+}  // namespace dmatch

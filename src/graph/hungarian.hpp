@@ -1,0 +1,24 @@
+// Hungarian algorithm (Jonker-Volgenant potentials variant, O(n^2 m)):
+// maximum weight bipartite matching.
+//
+// Reference optimum for the weighted experiments on bipartite inputs (E5).
+// Non-perfect matchings are handled by padding with zero-profit cells, which
+// is exact because all input weights are required to be non-negative.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/matching.hpp"
+
+namespace dmatch {
+
+/// Maximum weight matching of a bipartite graph with non-negative weights.
+/// `side[v]` in {0,1} must be a proper 2-coloring.
+Matching hungarian_mwm(const Graph& g, const std::vector<std::uint8_t>& side);
+
+/// Convenience overload computing the bipartition (graph must be bipartite).
+Matching hungarian_mwm(const Graph& g);
+
+}  // namespace dmatch

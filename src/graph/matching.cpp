@@ -1,0 +1,107 @@
+#include "graph/matching.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace dmatch {
+
+Matching Matching::from_edge_ids(const Graph& g,
+                                 std::span<const EdgeId> edges) {
+  Matching m(g.node_count());
+  for (EdgeId e : edges) m.add(g, e);
+  return m;
+}
+
+void Matching::add(const Graph& g, EdgeId e) {
+  const Edge& ed = g.edge(e);
+  DMATCH_EXPECTS(is_free(ed.u) && is_free(ed.v));
+  mate_[static_cast<std::size_t>(ed.u)] = ed.v;
+  mate_[static_cast<std::size_t>(ed.v)] = ed.u;
+  matched_edge_[static_cast<std::size_t>(ed.u)] = e;
+  matched_edge_[static_cast<std::size_t>(ed.v)] = e;
+}
+
+void Matching::remove(const Graph& g, EdgeId e) {
+  const Edge& ed = g.edge(e);
+  DMATCH_EXPECTS(contains(g, e));
+  mate_[static_cast<std::size_t>(ed.u)] = kNoNode;
+  mate_[static_cast<std::size_t>(ed.v)] = kNoNode;
+  matched_edge_[static_cast<std::size_t>(ed.u)] = kNoEdge;
+  matched_edge_[static_cast<std::size_t>(ed.v)] = kNoEdge;
+}
+
+std::size_t Matching::size() const noexcept {
+  std::size_t matched_nodes = 0;
+  for (NodeId m : mate_) matched_nodes += (m != kNoNode) ? 1 : 0;
+  return matched_nodes / 2;
+}
+
+Weight Matching::weight(const Graph& g) const {
+  Weight sum = 0;
+  for (EdgeId e : edges(g)) sum += g.weight(e);
+  return sum;
+}
+
+std::vector<EdgeId> Matching::edges(const Graph& g) const {
+  std::vector<EdgeId> out;
+  for (NodeId v = 0; v < node_count(); ++v) {
+    const EdgeId e = matched_edge_[static_cast<std::size_t>(v)];
+    if (e != kNoEdge && g.edge(e).u == v) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<NodeId> Matching::free_nodes() const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < node_count(); ++v) {
+    if (is_free(v)) out.push_back(v);
+  }
+  return out;
+}
+
+void Matching::augment(const Graph& g, std::span<const EdgeId> path) {
+  symmetric_difference(g, path);
+}
+
+void Matching::symmetric_difference(const Graph& g,
+                                    std::span<const EdgeId> set) {
+  // Two passes keep the intermediate state consistent: first drop the
+  // matched edges of the set, then add the rest.
+  std::vector<EdgeId> to_add;
+  for (EdgeId e : set) {
+    if (contains(g, e)) {
+      remove(g, e);
+    } else {
+      to_add.push_back(e);
+    }
+  }
+  for (EdgeId e : to_add) add(g, e);
+}
+
+bool Matching::is_valid(const Graph& g) const {
+  if (node_count() != g.node_count()) return false;
+  for (NodeId v = 0; v < node_count(); ++v) {
+    const NodeId m = mate_[static_cast<std::size_t>(v)];
+    const EdgeId e = matched_edge_[static_cast<std::size_t>(v)];
+    if (m == kNoNode) {
+      if (e != kNoEdge) return false;
+      continue;
+    }
+    if (m < 0 || m >= node_count()) return false;
+    if (mate_[static_cast<std::size_t>(m)] != v) return false;
+    if (e == kNoEdge || e >= g.edge_count()) return false;
+    const Edge& ed = g.edge(e);
+    if (!((ed.u == v && ed.v == m) || (ed.v == v && ed.u == m))) return false;
+  }
+  return true;
+}
+
+bool Matching::is_maximal(const Graph& g) const {
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& ed = g.edge(e);
+    if (is_free(ed.u) && is_free(ed.v)) return false;
+  }
+  return true;
+}
+
+}  // namespace dmatch

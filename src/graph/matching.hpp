@@ -1,0 +1,77 @@
+// Matching representation and the edge-set operations the paper uses
+// (validity, augmentation along a path, symmetric difference).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dmatch {
+
+/// A matching, stored as a mate array plus per-node matched edge id.
+/// Output convention follows the paper: each node's "output register"
+/// (mate) points at an incident matching edge or at nothing.
+class Matching {
+ public:
+  Matching() = default;
+  explicit Matching(NodeId n)
+      : mate_(static_cast<std::size_t>(n), kNoNode),
+        matched_edge_(static_cast<std::size_t>(n), kNoEdge) {}
+
+  static Matching from_edge_ids(const Graph& g,
+                                std::span<const EdgeId> edges);
+
+  [[nodiscard]] NodeId node_count() const noexcept {
+    return static_cast<NodeId>(mate_.size());
+  }
+
+  [[nodiscard]] bool is_matched(NodeId v) const {
+    return mate_.at(static_cast<std::size_t>(v)) != kNoNode;
+  }
+  [[nodiscard]] bool is_free(NodeId v) const { return !is_matched(v); }
+  [[nodiscard]] NodeId mate(NodeId v) const {
+    return mate_.at(static_cast<std::size_t>(v));
+  }
+  [[nodiscard]] EdgeId matched_edge(NodeId v) const {
+    return matched_edge_.at(static_cast<std::size_t>(v));
+  }
+  [[nodiscard]] bool contains(const Graph& g, EdgeId e) const {
+    return matched_edge(g.edge(e).u) == e;
+  }
+
+  /// Add edge e; both endpoints must be free.
+  void add(const Graph& g, EdgeId e);
+  /// Remove edge e; it must be in the matching.
+  void remove(const Graph& g, EdgeId e);
+
+  /// Number of matched edges.
+  [[nodiscard]] std::size_t size() const noexcept;
+  [[nodiscard]] Weight weight(const Graph& g) const;
+  [[nodiscard]] std::vector<EdgeId> edges(const Graph& g) const;
+  [[nodiscard]] std::vector<NodeId> free_nodes() const;
+
+  /// Replace M by M (+) path, where `path` is an alternating path given as
+  /// consecutive edge ids. For an augmenting path (odd length, free
+  /// endpoints, alternating non-matching/matching) this grows |M| by one.
+  void augment(const Graph& g, std::span<const EdgeId> path);
+
+  /// Replace M by M (+) S for an arbitrary edge set S (deduplicated by the
+  /// caller). The result must be a matching (checked).
+  void symmetric_difference(const Graph& g, std::span<const EdgeId> set);
+
+  /// True if the mate array is a consistent matching over g.
+  [[nodiscard]] bool is_valid(const Graph& g) const;
+
+  /// True if no edge of g has both endpoints free (i.e. M is maximal).
+  [[nodiscard]] bool is_maximal(const Graph& g) const;
+
+  friend bool operator==(const Matching& a, const Matching& b) {
+    return a.matched_edge_ == b.matched_edge_;
+  }
+
+ private:
+  std::vector<NodeId> mate_;
+  std::vector<EdgeId> matched_edge_;
+};
+
+}  // namespace dmatch

@@ -1,0 +1,70 @@
+#include "graph/seq_matching.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dmatch {
+
+Matching greedy_mwm(const Graph& g) {
+  std::vector<EdgeId> order(static_cast<std::size_t>(g.edge_count()));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+    if (g.weight(a) != g.weight(b)) return g.weight(a) > g.weight(b);
+    return a < b;
+  });
+  Matching m(g.node_count());
+  for (EdgeId e : order) {
+    const Edge& ed = g.edge(e);
+    if (m.is_free(ed.u) && m.is_free(ed.v)) m.add(g, e);
+  }
+  return m;
+}
+
+Matching path_growing_mwm(const Graph& g) {
+  // Grow vertex-disjoint paths, assigning edges alternately to two
+  // candidate matchings M1/M2; return the heavier one. Each edge of the
+  // graph is charged to a path edge at least half its weight.
+  const auto n = static_cast<std::size_t>(g.node_count());
+  std::vector<char> removed(n, false);
+  std::vector<EdgeId> m1;
+  std::vector<EdgeId> m2;
+  double w1 = 0;
+  double w2 = 0;
+
+  for (NodeId start = 0; start < g.node_count(); ++start) {
+    if (removed[static_cast<std::size_t>(start)]) continue;
+    NodeId v = start;
+    int parity = 0;
+    for (;;) {
+      EdgeId best = kNoEdge;
+      double best_w = -1;
+      for (EdgeId e : g.incident_edges(v)) {
+        const NodeId u = g.other_endpoint(e, v);
+        if (removed[static_cast<std::size_t>(u)]) continue;
+        if (g.weight(e) > best_w ||
+            (g.weight(e) == best_w && e < best)) {
+          best = e;
+          best_w = g.weight(e);
+        }
+      }
+      removed[static_cast<std::size_t>(v)] = true;
+      if (best == kNoEdge) break;
+      if (parity == 0) {
+        m1.push_back(best);
+        w1 += best_w;
+      } else {
+        m2.push_back(best);
+        w2 += best_w;
+      }
+      parity ^= 1;
+      v = g.other_endpoint(best, v);
+    }
+  }
+
+  const std::vector<EdgeId>& winner = w1 >= w2 ? m1 : m2;
+  // Edges were added along vertex-disjoint paths with alternating parity,
+  // so each candidate set is a matching.
+  return Matching::from_edge_ids(g, winner);
+}
+
+}  // namespace dmatch

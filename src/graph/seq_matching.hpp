@@ -1,0 +1,22 @@
+// Sequential approximation baselines.
+//
+// The paper's introduction measures distributed algorithms against the
+// classical sequential greedy (1/2-MWM); we also provide Drake & Hougardy's
+// path-growing algorithm (1/2-MWM in linear time), which the related-work
+// section cites. Both serve as baselines in the weighted benches and as
+// upper-bound certificates: w(greedy) * 2 >= w(M*) for any graph.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "graph/matching.hpp"
+
+namespace dmatch {
+
+/// Global greedy: repeatedly take the heaviest remaining edge. 1/2-MWM.
+/// Ties are broken by edge id, so the result is deterministic.
+Matching greedy_mwm(const Graph& g);
+
+/// Drake-Hougardy path-growing algorithm. 1/2-MWM in O(m).
+Matching path_growing_mwm(const Graph& g);
+
+}  // namespace dmatch

@@ -1,0 +1,49 @@
+// Precondition / postcondition / invariant checking.
+//
+// Follows the Core Guidelines I.5-I.8 style (Expects/Ensures) but always-on:
+// the simulator is a correctness tool, so we never compile checks out.
+// Violations throw, so tests can assert on them and long experiment sweeps
+// fail loudly instead of silently producing garbage.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dmatch {
+
+/// Thrown when a DMATCH_EXPECTS / DMATCH_ENSURES / DMATCH_ASSERT check fails.
+class ContractViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void contract_failed(const char* kind, const char* expr,
+                                         const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace dmatch
+
+#define DMATCH_EXPECTS(cond)                                                 \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::dmatch::detail::contract_failed("precondition", #cond, __FILE__,     \
+                                        __LINE__);                           \
+  } while (false)
+
+#define DMATCH_ENSURES(cond)                                                 \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::dmatch::detail::contract_failed("postcondition", #cond, __FILE__,    \
+                                        __LINE__);                           \
+  } while (false)
+
+#define DMATCH_ASSERT(cond)                                                  \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::dmatch::detail::contract_failed("invariant", #cond, __FILE__,        \
+                                        __LINE__);                           \
+  } while (false)

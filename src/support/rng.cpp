@@ -1,0 +1,73 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace dmatch {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t bound) {
+  DMATCH_EXPECTS(bound > 0);
+  // Rejection loop to remove modulo bias entirely.
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::uniform01() noexcept {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::coin(double p) noexcept { return uniform01() < p; }
+
+Rng Rng::fork(std::uint64_t stream_id) const noexcept {
+  // Mix the current state with the stream id through SplitMix64 twice so
+  // that consecutive stream ids land far apart.
+  std::uint64_t mix = s_[0] ^ (s_[3] * 0x9e3779b97f4a7c15ULL);
+  mix ^= stream_id + 0x632be59bd9b4e019ULL;
+  std::uint64_t sm = mix;
+  (void)splitmix64(sm);
+  return Rng(splitmix64(sm));
+}
+
+double sample_max_of_uniforms(Rng& rng, double m) noexcept {
+  // P[max <= x] = x^m  =>  max = U^(1/m). For enormous m the result is
+  // within double rounding of 1, which is the correct limit behaviour.
+  const double u = rng.uniform01();
+  if (m <= 1.0) return u;
+  return std::pow(u, 1.0 / m);
+}
+
+}  // namespace dmatch

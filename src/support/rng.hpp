@@ -1,0 +1,54 @@
+// Deterministic random number generation for the simulator.
+//
+// Every distributed node owns an independent stream forked from
+// (experiment seed, node id), so runs are reproducible regardless of
+// scheduling order and each node's randomness is private, as the CONGEST
+// model requires.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dmatch {
+
+/// xoshiro256** engine seeded via SplitMix64. Satisfies
+/// std::uniform_random_bit_generator, so it composes with <random>.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept;
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool coin(double p = 0.5) noexcept;
+
+  /// Derive an independent stream for a sub-entity (e.g. a node id).
+  /// fork(a) and fork(b) are decorrelated for a != b.
+  [[nodiscard]] Rng fork(std::uint64_t stream_id) const noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// SplitMix64 step; exposed because it is also a good cheap hash.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Sample the maximum of `m` i.i.d. Uniform(0,1) variables in O(1) via the
+/// inverse CDF: max ~ U^(1/m). `m` is a real so callers may pass saturated
+/// counts; requires m >= 1. Used by the Algorithm 3 token lottery.
+double sample_max_of_uniforms(Rng& rng, double m) noexcept;
+
+}  // namespace dmatch

@@ -1,0 +1,96 @@
+// Saturating 128-bit counter.
+//
+// Algorithm 3 counts half-augmenting paths; the counts obey
+// n_v <= Delta^ceil(d(v)/2) (Lemma 3.8) and can exceed any fixed-width
+// integer for deep phases on dense graphs. The lottery only needs the
+// counts for (a) sampling the maximum of n_y uniforms and (b) choosing a
+// backward edge proportionally, and both degrade gracefully under
+// saturation (see DESIGN.md "Faithfulness notes"), so a saturating counter
+// keeps the protocol total and branch-free.
+#pragma once
+
+#include <cstdint>
+
+#include "support/assert.hpp"
+
+namespace dmatch {
+
+/// Non-negative counter that saturates at 2^127 - 1 instead of wrapping.
+class SatCount {
+  // __int128 is a GCC/Clang extension; __extension__ silences -Wpedantic.
+  __extension__ using u128 = unsigned __int128;
+
+ public:
+  constexpr SatCount() noexcept = default;
+  constexpr explicit SatCount(std::uint64_t v) noexcept : value_(v) {}
+
+  static constexpr SatCount saturated() noexcept {
+    SatCount c;
+    c.value_ = kMax;
+    return c;
+  }
+
+  [[nodiscard]] constexpr bool is_saturated() const noexcept {
+    return value_ == kMax;
+  }
+  [[nodiscard]] constexpr bool is_zero() const noexcept {
+    return value_ == 0;
+  }
+
+  /// Saturating addition.
+  constexpr SatCount& operator+=(SatCount other) noexcept {
+    if (value_ > kMax - other.value_) {
+      value_ = kMax;
+    } else {
+      value_ += other.value_;
+    }
+    return *this;
+  }
+
+  friend constexpr SatCount operator+(SatCount a, SatCount b) noexcept {
+    a += b;
+    return a;
+  }
+
+  friend constexpr bool operator==(SatCount a, SatCount b) noexcept {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator<(SatCount a, SatCount b) noexcept {
+    return a.value_ < b.value_;
+  }
+
+  /// Value as a double (saturates to ~1.7e38; fine for lottery sampling).
+  [[nodiscard]] constexpr double as_double() const noexcept {
+    return static_cast<double>(value_);
+  }
+
+  /// Low 64 bits if the value fits, otherwise UINT64_MAX.
+  [[nodiscard]] constexpr std::uint64_t clamped_u64() const noexcept {
+    constexpr u128 u64max = ~std::uint64_t{0};
+    return value_ > u64max ? ~std::uint64_t{0}
+                           : static_cast<std::uint64_t>(value_);
+  }
+
+  /// Wire encoding: two 64-bit words (hi, lo).
+  [[nodiscard]] constexpr std::uint64_t hi() const noexcept {
+    return static_cast<std::uint64_t>(value_ >> 64);
+  }
+  [[nodiscard]] constexpr std::uint64_t lo() const noexcept {
+    return static_cast<std::uint64_t>(value_);
+  }
+  static constexpr SatCount from_words(std::uint64_t hi,
+                                       std::uint64_t lo) noexcept {
+    SatCount c;
+    c.value_ = (static_cast<u128>(hi) << 64) | lo;
+    if (c.value_ > kMax) c.value_ = kMax;
+    return c;
+  }
+
+ private:
+  // 2^127 - 1: keeps the top bit free so accidental signed reads never trap.
+  static constexpr u128 kMax = ~static_cast<u128>(0) >> 1;
+
+  u128 value_ = 0;
+};
+
+}  // namespace dmatch

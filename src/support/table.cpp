@@ -1,0 +1,63 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace dmatch {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  DMATCH_EXPECTS(!headers_.empty());
+}
+
+Table& Table::row() {
+  DMATCH_EXPECTS(rows_.empty() || rows_.back().size() == headers_.size());
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(const std::string& text) {
+  DMATCH_EXPECTS(!rows_.empty() && rows_.back().size() < headers_.size());
+  rows_.back().push_back(text);
+  return *this;
+}
+
+Table& Table::cell(std::int64_t value) { return cell(std::to_string(value)); }
+Table& Table::cell(std::uint64_t value) { return cell(std::to_string(value)); }
+
+Table& Table::cell(double value, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << value;
+  return cell(ss.str());
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      if (c < row.size()) width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& text = c < cells.size() ? cells[c] : std::string{};
+      os << ' ' << text << std::string(width[c] - text.size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(width[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row);
+}
+
+}  // namespace dmatch

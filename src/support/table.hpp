@@ -1,0 +1,34 @@
+// Minimal fixed-width table writer used by the benchmark binaries.
+//
+// Each experiment prints a GitHub-style markdown table so EXPERIMENTS.md can
+// quote bench output verbatim.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dmatch {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Start a new row; subsequent cell() calls fill it left to right.
+  Table& row();
+
+  Table& cell(const std::string& text);
+  Table& cell(std::int64_t value);
+  Table& cell(std::uint64_t value);
+  Table& cell(double value, int precision = 4);
+
+  /// Render as a markdown table with aligned columns.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dmatch

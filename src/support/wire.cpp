@@ -1,0 +1,38 @@
+#include "support/wire.hpp"
+
+namespace dmatch {
+
+void BitWriter::write(std::uint64_t value, unsigned width) {
+  DMATCH_EXPECTS(width >= 1 && width <= 64);
+  DMATCH_EXPECTS(width == 64 || (value >> width) == 0);
+
+  const std::uint32_t word_index = bits_ / 64;
+  const unsigned offset = bits_ % 64;
+  if (word_index == words_.size()) words_.push_back(0);
+
+  words_[word_index] |= value << offset;
+  const unsigned spill = (offset + width > 64) ? offset + width - 64 : 0;
+  if (spill > 0) {
+    // High `spill` bits did not fit; put them at the bottom of a new word.
+    words_.push_back(value >> (width - spill));
+  }
+  bits_ += width;
+}
+
+std::uint64_t BitReader::read(unsigned width) {
+  DMATCH_EXPECTS(width >= 1 && width <= 64);
+  DMATCH_EXPECTS(cursor_ + width <= bits_);
+
+  const std::uint32_t word_index = cursor_ / 64;
+  const unsigned offset = cursor_ % 64;
+  std::uint64_t value = (*words_)[word_index] >> offset;
+  const unsigned got = 64 - offset;
+  if (got < width) {
+    value |= (*words_)[word_index + 1] << got;
+  }
+  if (width < 64) value &= (std::uint64_t{1} << width) - 1;
+  cursor_ += width;
+  return value;
+}
+
+}  // namespace dmatch

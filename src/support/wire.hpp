@@ -1,0 +1,69 @@
+// Bit-accounted message encoding.
+//
+// CONGEST proofs are about message *bits*, so the simulator charges exactly
+// what a protocol writes. BitWriter packs fields little-endian-within-word;
+// BitReader replays them in order. A field is (value, width) with
+// width <= 64; the reader must consume the same widths in the same order,
+// which every protocol in this repository does by construction (symmetric
+// encode/decode functions).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace dmatch {
+
+class BitWriter {
+ public:
+  /// Append `width` low bits of `value`. Requires 0 < width <= 64 and that
+  /// value fits in `width` bits.
+  void write(std::uint64_t value, unsigned width);
+
+  /// Convenience: unsigned value with its exact required width.
+  void write_bool(bool b) { write(b ? 1 : 0, 1); }
+
+  [[nodiscard]] std::uint32_t bit_count() const noexcept { return bits_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const noexcept {
+    return words_;
+  }
+
+  std::vector<std::uint64_t> take_words() && noexcept {
+    return std::move(words_);
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::uint32_t bits_ = 0;
+};
+
+class BitReader {
+ public:
+  BitReader(const std::vector<std::uint64_t>& words,
+            std::uint32_t bit_count) noexcept
+      : words_(&words), bits_(bit_count) {}
+
+  /// Read back `width` bits. Requires the same (width) sequence as written.
+  std::uint64_t read(unsigned width);
+
+  bool read_bool() { return read(1) != 0; }
+
+  [[nodiscard]] std::uint32_t remaining() const noexcept {
+    return bits_ - cursor_;
+  }
+
+ private:
+  const std::vector<std::uint64_t>* words_;
+  std::uint32_t bits_;
+  std::uint32_t cursor_ = 0;
+};
+
+/// Number of bits needed to represent `value` (at least 1).
+constexpr unsigned bit_width_for(std::uint64_t value) noexcept {
+  unsigned w = 1;
+  while (value >>= 1) ++w;
+  return w;
+}
+
+}  // namespace dmatch

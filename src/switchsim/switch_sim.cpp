@@ -1,0 +1,239 @@
+#include "switchsim/switch_sim.hpp"
+
+#include <deque>
+
+#include "congest/network.hpp"
+#include "core/bipartite_mcm.hpp"
+#include "core/israeli_itai.hpp"
+#include "core/half_mwm.hpp"
+#include "graph/hopcroft_karp.hpp"
+#include "graph/hungarian.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace dmatch::switchsim {
+
+namespace {
+
+/// Per-input on/off source state for bursty traffic.
+struct BurstState {
+  int remaining = 0;
+  int output = 0;
+};
+
+Graph build_request_graph(
+    int ports, const std::vector<std::vector<std::deque<int>>>& voq) {
+  std::vector<Edge> edges;
+  for (int i = 0; i < ports; ++i) {
+    for (int j = 0; j < ports; ++j) {
+      const auto& q = voq[static_cast<std::size_t>(i)]
+                         [static_cast<std::size_t>(j)];
+      if (!q.empty()) {
+        edges.push_back({static_cast<NodeId>(i),
+                         static_cast<NodeId>(ports + j),
+                         static_cast<Weight>(q.size())});
+      }
+    }
+  }
+  return Graph::from_edges(2 * ports, std::move(edges));
+}
+
+}  // namespace
+
+SwitchStats simulate_switch(int ports, int cycles,
+                            const TrafficConfig& traffic,
+                            const Scheduler& scheduler, std::uint64_t seed) {
+  DMATCH_EXPECTS(ports >= 2 && cycles >= 1);
+  DMATCH_EXPECTS(traffic.load >= 0.0 && traffic.load <= 1.0);
+
+  Rng rng(seed);
+  // voq[i][j] holds arrival cycles of queued packets from input i to j.
+  std::vector<std::vector<std::deque<int>>> voq(
+      static_cast<std::size_t>(ports),
+      std::vector<std::deque<int>>(static_cast<std::size_t>(ports)));
+  std::vector<BurstState> burst(static_cast<std::size_t>(ports));
+
+  SwitchStats stats;
+  stats.cycles = cycles;
+
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    // Arrivals.
+    for (int i = 0; i < ports; ++i) {
+      bool arrive = false;
+      int out = 0;
+      switch (traffic.pattern) {
+        case TrafficConfig::Pattern::kUniform:
+          arrive = rng.coin(traffic.load);
+          out = static_cast<int>(
+              rng.uniform(static_cast<std::uint64_t>(ports)));
+          break;
+        case TrafficConfig::Pattern::kDiagonal:
+          arrive = rng.coin(traffic.load);
+          out = (i + cycle) % ports;
+          break;
+        case TrafficConfig::Pattern::kBursty: {
+          BurstState& b = burst[static_cast<std::size_t>(i)];
+          if (b.remaining == 0 && rng.coin(traffic.load /
+                                           traffic.mean_burst_length)) {
+            b.remaining = 1 + static_cast<int>(rng.uniform(
+                                  2 * traffic.mean_burst_length - 1));
+            b.output = static_cast<int>(
+                rng.uniform(static_cast<std::uint64_t>(ports)));
+          }
+          if (b.remaining > 0) {
+            --b.remaining;
+            arrive = true;
+            out = b.output;
+          }
+          break;
+        }
+      }
+      if (arrive) {
+        voq[static_cast<std::size_t>(i)][static_cast<std::size_t>(out)]
+            .push_back(cycle);
+        ++stats.arrived;
+      }
+    }
+
+    // Schedule and transfer.
+    const Graph requests = build_request_graph(ports, voq);
+    if (requests.edge_count() == 0) continue;
+    const Matching m = scheduler(requests, cycle);
+    DMATCH_ASSERT(m.is_valid(requests));
+    for (EdgeId e : m.edges(requests)) {
+      const Edge& ed = requests.edge(e);
+      const int in = ed.u;          // inputs are 0..P-1
+      const int out = ed.v - ports; // outputs are P..2P-1
+      auto& q =
+          voq[static_cast<std::size_t>(in)][static_cast<std::size_t>(out)];
+      DMATCH_ASSERT(!q.empty());
+      stats.total_delay_cycles +=
+          static_cast<std::uint64_t>(cycle - q.front());
+      q.pop_front();
+      ++stats.delivered;
+    }
+  }
+
+  for (const auto& row : voq) {
+    for (const auto& q : row) stats.backlog += q.size();
+  }
+  return stats;
+}
+
+Matching schedule_maximum(const Graph& requests, int cycle) {
+  (void)cycle;
+  return hopcroft_karp(requests);
+}
+
+Matching schedule_israeli_itai(const Graph& requests, int cycle,
+                               std::uint64_t seed) {
+  congest::Network net(requests, congest::Model::kCongest,
+                       seed ^ (static_cast<std::uint64_t>(cycle) * 0x9e37ULL));
+  return israeli_itai(net).matching;
+}
+
+Matching schedule_max_weight(const Graph& requests, int cycle) {
+  (void)cycle;
+  const auto side = requests.bipartition();
+  DMATCH_EXPECTS(side.has_value());
+  return hungarian_mwm(requests, *side);
+}
+
+Matching schedule_half_mwm(const Graph& requests, int cycle, double epsilon,
+                           std::uint64_t seed) {
+  HalfMwmOptions options;
+  options.epsilon = epsilon;
+  options.black_box = HalfMwmOptions::BlackBox::kLocallyDominant;
+  options.seed = seed ^ (static_cast<std::uint64_t>(cycle) * 0x2545fULL);
+  return half_mwm(requests, options).matching;
+}
+
+IslipScheduler::IslipScheduler(int ports, int iterations)
+    : ports_(ports),
+      iterations_(iterations),
+      grant_pointer_(static_cast<std::size_t>(ports), 0),
+      accept_pointer_(static_cast<std::size_t>(ports), 0) {
+  DMATCH_EXPECTS(ports >= 1 && iterations >= 1);
+}
+
+Matching IslipScheduler::operator()(const Graph& requests, int cycle) {
+  (void)cycle;
+  DMATCH_EXPECTS(requests.node_count() == 2 * ports_);
+  // requested[i][j]: input i has a packet for output j.
+  std::vector<std::vector<char>> requested(
+      static_cast<std::size_t>(ports_),
+      std::vector<char>(static_cast<std::size_t>(ports_), false));
+  for (EdgeId e = 0; e < requests.edge_count(); ++e) {
+    const Edge& ed = requests.edge(e);
+    requested[static_cast<std::size_t>(ed.u)]
+             [static_cast<std::size_t>(ed.v - ports_)] = true;
+  }
+
+  std::vector<int> input_match(static_cast<std::size_t>(ports_), -1);
+  std::vector<int> output_match(static_cast<std::size_t>(ports_), -1);
+
+  for (int iter = 0; iter < iterations_; ++iter) {
+    // Grant: each unmatched output picks the requesting unmatched input
+    // closest (cyclically) to its grant pointer.
+    std::vector<int> granted_input(static_cast<std::size_t>(ports_), -1);
+    for (int j = 0; j < ports_; ++j) {
+      if (output_match[static_cast<std::size_t>(j)] >= 0) continue;
+      const int start = grant_pointer_[static_cast<std::size_t>(j)];
+      for (int k = 0; k < ports_; ++k) {
+        const int i = (start + k) % ports_;
+        if (input_match[static_cast<std::size_t>(i)] >= 0) continue;
+        if (requested[static_cast<std::size_t>(i)]
+                     [static_cast<std::size_t>(j)]) {
+          granted_input[static_cast<std::size_t>(j)] = i;
+          break;
+        }
+      }
+    }
+    // Accept: each input with grants accepts the output closest to its
+    // accept pointer; pointers advance only on accept in the first
+    // iteration (the iSLIP "pointer update" rule that prevents
+    // starvation).
+    bool any = false;
+    for (int i = 0; i < ports_; ++i) {
+      if (input_match[static_cast<std::size_t>(i)] >= 0) continue;
+      const int start = accept_pointer_[static_cast<std::size_t>(i)];
+      for (int k = 0; k < ports_; ++k) {
+        const int j = (start + k) % ports_;
+        if (granted_input[static_cast<std::size_t>(j)] != i) continue;
+        input_match[static_cast<std::size_t>(i)] = j;
+        output_match[static_cast<std::size_t>(j)] = i;
+        any = true;
+        if (iter == 0) {
+          accept_pointer_[static_cast<std::size_t>(i)] = (j + 1) % ports_;
+          grant_pointer_[static_cast<std::size_t>(j)] = (i + 1) % ports_;
+        }
+        break;
+      }
+    }
+    if (!any) break;
+  }
+
+  std::vector<EdgeId> chosen;
+  for (int i = 0; i < ports_; ++i) {
+    const int j = input_match[static_cast<std::size_t>(i)];
+    if (j < 0) continue;
+    const EdgeId e = requests.find_edge(static_cast<NodeId>(i),
+                                        static_cast<NodeId>(ports_ + j));
+    DMATCH_ASSERT(e != kNoEdge);
+    chosen.push_back(e);
+  }
+  return Matching::from_edge_ids(requests, chosen);
+}
+
+Matching schedule_bipartite_mcm(const Graph& requests, int cycle, int k,
+                                std::uint64_t seed) {
+  const auto side = requests.bipartition();
+  DMATCH_EXPECTS(side.has_value());
+  congest::Network net(requests, congest::Model::kCongest,
+                       seed ^ (static_cast<std::uint64_t>(cycle) * 0x517cULL));
+  BipartiteMcmOptions options;
+  options.k = k;
+  return bipartite_mcm(net, *side, options).matching;
+}
+
+}  // namespace dmatch::switchsim

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "graph/augmenting.hpp"
+#include "graph/generators.hpp"
+#include "graph/hopcroft_karp.hpp"
+#include "graph/matching.hpp"
+#include "graph/seq_matching.hpp"
+
+namespace dmatch {
+namespace {
+
+TEST(Augmenting, SingleEdgeGraph) {
+  const Graph g = gen::path(2);
+  const Matching empty(2);
+  const auto paths = enumerate_augmenting_paths(g, empty, 3);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0], (std::vector<EdgeId>{0}));
+}
+
+TEST(Augmenting, LengthThreePath) {
+  // 0-1-2-3 with 1-2 matched: one augmenting path of length 3, none of 1.
+  const Graph g = gen::path(4);
+  Matching m(4);
+  m.add(g, 1);
+  EXPECT_TRUE(enumerate_augmenting_paths(g, m, 1).empty());
+  const auto paths = enumerate_augmenting_paths(g, m, 3);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0], (std::vector<EdgeId>{0, 1, 2}));
+}
+
+TEST(Augmenting, ReportsEachPathOnce) {
+  // Empty matching on a triangle: three length-1 augmenting paths.
+  const Graph g = gen::cycle(3);
+  const Matching m(3);
+  EXPECT_EQ(enumerate_augmenting_paths(g, m, 1).size(), 3u);
+}
+
+TEST(Augmenting, MaxCountTruncates) {
+  const Graph g = gen::complete_bipartite(5, 5);
+  const Matching m(10);
+  EXPECT_EQ(enumerate_augmenting_paths(g, m, 1, 3).size(), 3u);
+}
+
+TEST(Augmenting, NoPathsOnPerfectMatching) {
+  const Graph g = gen::cycle(6);
+  const Matching m = Matching::from_edge_ids(g, std::vector<EdgeId>{0, 2, 4});
+  EXPECT_TRUE(enumerate_augmenting_paths(g, m, 11).empty());
+  EXPECT_FALSE(shortest_augmenting_path_length(g, m, 11).has_value());
+}
+
+TEST(Augmenting, ShortestLengthIsCorrect) {
+  const Graph g = gen::path(6);  // 0-1-2-3-4-5
+  Matching m(6);
+  m.add(g, 1);  // 1-2
+  m.add(g, 3);  // 3-4
+  // Augmenting path: 0-1-2-3-4-5 (length 5).
+  const auto len = shortest_augmenting_path_length(g, m, 9);
+  ASSERT_TRUE(len.has_value());
+  EXPECT_EQ(*len, 5);
+}
+
+TEST(Augmenting, PathsAreAlternatingAndSimple) {
+  const Graph g = gen::gnp(24, 0.2, 11);
+  const Matching m = greedy_mwm(g);
+  for (const auto& path : enumerate_augmenting_paths(g, m, 5)) {
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.size() % 2, 1u);
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      EXPECT_EQ(m.contains(g, path[i]), i % 2 == 1) << "alternation broken";
+    }
+    // Endpoints free.
+    const Edge& first = g.edge(path.front());
+    const Edge& last = g.edge(path.back());
+    const bool first_free = m.is_free(first.u) || m.is_free(first.v);
+    const bool last_free = m.is_free(last.u) || m.is_free(last.v);
+    EXPECT_TRUE(first_free);
+    EXPECT_TRUE(last_free);
+  }
+}
+
+TEST(Augmenting, AugmentingAlongReportedPathGrowsMatching) {
+  const Graph g = gen::gnp(20, 0.25, 13);
+  Matching m = greedy_mwm(g);
+  for (int guard = 0; guard < 20; ++guard) {
+    const auto paths = enumerate_augmenting_paths(g, m, 7, 1);
+    if (paths.empty()) break;
+    const std::size_t before = m.size();
+    m.augment(g, paths[0]);
+    EXPECT_TRUE(m.is_valid(g));
+    EXPECT_EQ(m.size(), before + 1);
+  }
+}
+
+TEST(Augmenting, BipartiteOracleAgreesWithGeneralOracle) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Graph g = gen::bipartite_gnp(10, 10, 0.2, seed);
+    const auto side = g.bipartition();
+    ASSERT_TRUE(side.has_value());
+    Matching m = greedy_mwm(g);
+    const auto fast = bipartite_shortest_augmenting_path_length(g, *side, m);
+    const auto slow = shortest_augmenting_path_length(g, m, 19);
+    if (fast.has_value() && *fast <= 19) {
+      ASSERT_TRUE(slow.has_value()) << "seed " << seed;
+      EXPECT_EQ(*fast, *slow) << "seed " << seed;
+    } else {
+      EXPECT_FALSE(slow.has_value()) << "seed " << seed;
+    }
+  }
+}
+
+TEST(Augmenting, BipartiteOracleOnSaturatedSide) {
+  const Graph g = gen::complete_bipartite(3, 3);
+  const Matching m = hopcroft_karp(g);
+  EXPECT_EQ(m.size(), 3u);
+  const auto side = g.bipartition();
+  EXPECT_FALSE(
+      bipartite_shortest_augmenting_path_length(g, *side, m).has_value());
+}
+
+TEST(Augmenting, GreedyDisjointPathsAreDisjointAndMaximal) {
+  const Graph g = gen::bipartite_gnp(15, 15, 0.3, 3);
+  const Matching m(30);
+  const auto all = enumerate_augmenting_paths(g, m, 1);
+  const auto chosen = greedy_disjoint_paths(g, all);
+  std::vector<char> used(static_cast<std::size_t>(g.node_count()), false);
+  for (const auto& p : chosen) {
+    for (EdgeId e : p) {
+      const Edge& ed = g.edge(e);
+      EXPECT_FALSE(used[static_cast<std::size_t>(ed.u)]);
+      EXPECT_FALSE(used[static_cast<std::size_t>(ed.v)]);
+      used[static_cast<std::size_t>(ed.u)] = true;
+      used[static_cast<std::size_t>(ed.v)] = true;
+    }
+  }
+  // Maximality: every candidate intersects a chosen one.
+  for (const auto& p : all) {
+    bool hits = false;
+    for (EdgeId e : p) {
+      const Edge& ed = g.edge(e);
+      hits = hits || used[static_cast<std::size_t>(ed.u)] ||
+             used[static_cast<std::size_t>(ed.v)];
+    }
+    EXPECT_TRUE(hits);
+  }
+}
+
+}  // namespace
+}  // namespace dmatch

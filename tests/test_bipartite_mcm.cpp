@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/api.hpp"
+#include "graph/augmenting.hpp"
+#include "graph/generators.hpp"
+#include "graph/hopcroft_karp.hpp"
+
+namespace dmatch {
+namespace {
+
+// ----------------------------------------------------- augment iterations
+
+TEST(AugmentIteration, LengthOneActsLikeMatchingRound) {
+  const Graph g = gen::complete_bipartite(6, 6);
+  const auto side = *g.bipartition();
+  congest::Network net(g, congest::Model::kCongest, 3);
+  const auto stats = run_augment_iteration(net, side, 1);
+  EXPECT_TRUE(stats.completed);
+  const Matching m = net.extract_matching();
+  EXPECT_TRUE(m.is_valid(g));
+  EXPECT_GE(m.size(), 1u);  // the largest token always survives
+}
+
+TEST(AugmentIteration, PreservesMatchingValidity) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Graph g = gen::bipartite_gnp(15, 15, 0.2, seed);
+    const auto side = *g.bipartition();
+    congest::Network net(g, congest::Model::kCongest, seed + 5);
+    for (int ell = 1; ell <= 5; ell += 2) {
+      run_augment_iteration(net, side, ell);
+      EXPECT_TRUE(net.extract_matching().is_valid(g)) << "seed " << seed;
+    }
+  }
+}
+
+TEST(AugmentIteration, NeverCreatesShorterAugmentingPaths) {
+  // Augmenting along shortest paths cannot decrease the shortest
+  // augmenting path length (Hopcroft-Karp).
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Graph g = gen::bipartite_gnp(12, 12, 0.25, seed);
+    const auto side = *g.bipartition();
+    congest::Network net(g, congest::Model::kCongest, seed);
+    int shortest_before = 1;
+    for (int guard = 0; guard < 40; ++guard) {
+      const Matching m = net.extract_matching();
+      const auto len = bipartite_shortest_augmenting_path_length(g, side, m);
+      if (!len.has_value()) break;
+      EXPECT_GE(*len, shortest_before) << "seed " << seed;
+      shortest_before = *len;
+      run_augment_iteration(net, side, *len);
+    }
+  }
+}
+
+TEST(AugmentIteration, RoundCountIsLinearInEll) {
+  const Graph g = gen::bipartite_gnp(20, 20, 0.3, 3);
+  const auto side = *g.bipartition();
+  congest::Network net(g, congest::Model::kCongest, 3);
+  for (int ell : {1, 3, 5, 7}) {
+    const auto stats = run_augment_iteration(net, side, ell);
+    EXPECT_LE(stats.rounds, static_cast<std::uint64_t>(3 * ell + 4));
+  }
+}
+
+// ------------------------------------------------------------------ phase
+
+class PhaseParam
+    : public ::testing::TestWithParam<std::tuple<int, int, double, int>> {};
+
+TEST_P(PhaseParam, EliminatesAllShortAugmentingPaths) {
+  const auto [nx, ell, p, seed] = GetParam();
+  const Graph g = gen::bipartite_gnp(nx, nx, p, static_cast<std::uint64_t>(seed));
+  const auto side = *g.bipartition();
+  congest::Network net(g, congest::Model::kCongest,
+                       static_cast<std::uint64_t>(seed) + 31);
+  // Establish the precondition (no path shorter than ell) phase by phase.
+  PhaseOptions options;
+  for (int l = 1; l <= ell; l += 2) {
+    run_phase(net, side, l, options);
+    const Matching m = net.extract_matching();
+    const auto len = bipartite_shortest_augmenting_path_length(g, side, m);
+    EXPECT_TRUE(!len.has_value() || *len > l)
+        << "phase " << l << " left a path of length " << *len;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PhaseParam,
+    ::testing::Combine(::testing::Values(8, 16, 28), ::testing::Values(1, 3, 5),
+                       ::testing::Values(0.1, 0.3),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(Phase, FixedBudgetAlsoEliminatesShortPathsWhp) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Graph g = gen::bipartite_gnp(14, 14, 0.25, seed);
+    const auto side = *g.bipartition();
+    congest::Network net(g, congest::Model::kCongest, seed + 77);
+    PhaseOptions options;
+    options.termination = PhaseOptions::Termination::kFixedBudget;
+    options.mis_budget_factor = 3.0;
+    for (int l = 1; l <= 3; l += 2) {
+      run_phase(net, side, l, options);
+      const Matching m = net.extract_matching();
+      const auto len = bipartite_shortest_augmenting_path_length(g, side, m);
+      EXPECT_TRUE(!len.has_value() || *len > l) << "seed " << seed;
+    }
+  }
+}
+
+// ------------------------------------------------------------ full driver
+
+class BipartiteMcmParam
+    : public ::testing::TestWithParam<std::tuple<int, double, int, int>> {};
+
+TEST_P(BipartiteMcmParam, ApproximationBoundHolds) {
+  const auto [nx, p, k, seed] = GetParam();
+  const Graph g =
+      gen::bipartite_gnp(nx, nx, p, static_cast<std::uint64_t>(seed));
+  BipartiteMcmOptions options;
+  options.k = k;
+  const BipartiteMcmResult result =
+      approx_mcm_bipartite(g, static_cast<std::uint64_t>(seed) + 7, options);
+  EXPECT_TRUE(result.matching.is_valid(g));
+  const std::size_t opt = hopcroft_karp(g).size();
+  EXPECT_GE(static_cast<double>(result.matching.size()) + 1e-9,
+            (1.0 - 1.0 / k) * static_cast<double>(opt))
+      << "nx=" << nx << " p=" << p << " k=" << k << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BipartiteMcmParam,
+    ::testing::Combine(::testing::Values(10, 25, 60),
+                       ::testing::Values(0.08, 0.2, 0.5),
+                       ::testing::Values(2, 3, 5),
+                       ::testing::Values(1, 2)));
+
+TEST(BipartiteMcm, ExactOnCompleteBipartite) {
+  const Graph g = gen::complete_bipartite(15, 15);
+  BipartiteMcmOptions options;
+  options.k = 5;
+  const auto result = approx_mcm_bipartite(g, 3, options);
+  EXPECT_GE(result.matching.size(), 12u);  // >= (1 - 1/5) * 15
+}
+
+TEST(BipartiteMcm, StructuredTopologies) {
+  for (const Graph& g :
+       {gen::grid(6, 8), gen::path(40), gen::cycle(34),
+        gen::random_tree(50, 9)}) {
+    BipartiteMcmOptions options;
+    options.k = 4;
+    const auto result = approx_mcm_bipartite(g, 11, options);
+    EXPECT_TRUE(result.matching.is_valid(g));
+    const std::size_t opt = hopcroft_karp(g).size();
+    EXPECT_GE(4 * result.matching.size() + 1, 3 * opt);
+  }
+}
+
+TEST(BipartiteMcm, MessagesFitWithinCongestCap) {
+  const Graph g = gen::bipartite_gnp(40, 40, 0.15, 4);
+  const auto result = approx_mcm_bipartite(g, 5);
+  // Never throws MessageTooLarge and the recorded max is within the cap.
+  congest::Network reference(g, congest::Model::kCongest, 0);
+  EXPECT_LE(result.stats.max_message_bits, reference.message_cap_bits());
+}
+
+TEST(BipartiteMcm, StatsAccumulateAcrossPhases) {
+  const Graph g = gen::bipartite_gnp(20, 20, 0.3, 5);
+  BipartiteMcmOptions options;
+  options.k = 3;
+  const auto result = approx_mcm_bipartite(g, 6, options);
+  EXPECT_EQ(result.phases, 3);
+  EXPECT_GE(result.iterations, 1);
+  EXPECT_GT(result.stats.rounds, 0u);
+  EXPECT_GT(result.stats.total_bits, 0u);
+}
+
+TEST(BipartiteMcm, DeterministicUnderSeed) {
+  const Graph g = gen::bipartite_gnp(25, 25, 0.2, 6);
+  const auto a = approx_mcm_bipartite(g, 99);
+  const auto b = approx_mcm_bipartite(g, 99);
+  EXPECT_TRUE(a.matching == b.matching);
+  EXPECT_EQ(a.stats.rounds, b.stats.rounds);
+}
+
+TEST(BipartiteMcm, EmptyGraph) {
+  const Graph g = Graph::from_edges(6, {});
+  const auto result = approx_mcm_bipartite(g, 1);
+  EXPECT_EQ(result.matching.size(), 0u);
+}
+
+TEST(BipartiteMcm, UnbalancedSides) {
+  const Graph g = gen::bipartite_gnp(5, 50, 0.3, 8);
+  BipartiteMcmOptions options;
+  options.k = 5;
+  const auto result = approx_mcm_bipartite(g, 9, options);
+  const std::size_t opt = hopcroft_karp(g).size();
+  EXPECT_GE(5 * result.matching.size() + 1, 4 * opt);
+}
+
+}  // namespace
+}  // namespace dmatch

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "congest/network.hpp"
+#include "graph/generators.hpp"
+#include "support/assert.hpp"
+
+namespace dmatch {
+namespace {
+
+using congest::Context;
+using congest::Envelope;
+using congest::Message;
+using congest::MessageTooLarge;
+using congest::Model;
+using congest::Network;
+using congest::Process;
+using congest::RunStats;
+
+/// Sends one fixed-size message to every neighbor for `rounds` rounds.
+class Chatter final : public Process {
+ public:
+  Chatter(int rounds, unsigned bits) : rounds_(rounds), bits_(bits) {}
+
+  void on_round(Context& ctx, std::span<const Envelope> inbox) override {
+    (void)inbox;
+    if (ctx.round() < rounds_) {
+      BitWriter w;
+      for (unsigned b = 0; b < bits_; ++b) w.write_bool(true);
+      const Message msg = Message::from_writer(std::move(w));
+      for (int p = 0; p < ctx.degree(); ++p) ctx.send(p, msg);
+    }
+    halted_ = ctx.round() >= rounds_;
+  }
+
+  [[nodiscard]] bool halted() const override { return halted_; }
+
+ private:
+  int rounds_;
+  unsigned bits_;
+  bool halted_ = false;
+};
+
+/// Counts hops: node 0 emits a token that is forwarded around a cycle;
+/// verifies one-hop-per-round delivery timing.
+class RingForwarder final : public Process {
+ public:
+  explicit RingForwarder(std::vector<int>& arrival) : arrival_(arrival) {}
+
+  void on_round(Context& ctx, std::span<const Envelope> inbox) override {
+    if (ctx.round() == 0 && ctx.id() == 0) {
+      BitWriter w;
+      w.write(1, 1);
+      ctx.send(0, Message::from_writer(std::move(w)));  // one direction
+      arrival_[0] = 0;
+      return;
+    }
+    for (const Envelope& env : inbox) {
+      (void)env;
+      if (arrival_[static_cast<std::size_t>(ctx.id())] < 0) {
+        arrival_[static_cast<std::size_t>(ctx.id())] = ctx.round();
+        // Forward out the other port.
+        const int out = env.port == 0 ? 1 : 0;
+        BitWriter w;
+        w.write(1, 1);
+        ctx.send(out, Message::from_writer(std::move(w)));
+      }
+      halted_ = true;
+    }
+    if (ctx.id() == 0 && ctx.round() > 0) halted_ = true;
+  }
+
+  [[nodiscard]] bool halted() const override { return halted_; }
+
+ private:
+  std::vector<int>& arrival_;
+  bool halted_ = false;
+};
+
+TEST(Network, CapScalesWithLogN) {
+  const Graph small = gen::cycle(8);
+  const Graph big = gen::cycle(2048);
+  Network net_small(small, Model::kCongest, 1, 10);
+  Network net_big(big, Model::kCongest, 1, 10);
+  EXPECT_EQ(net_small.message_cap_bits(), 10u * 4u);  // floored at 4 bits
+  EXPECT_EQ(net_big.message_cap_bits(), 10u * 11u);
+}
+
+TEST(Network, CongestRejectsOversizeMessage) {
+  const Graph g = gen::cycle(8);
+  Network net(g, Model::kCongest, 1, 1);  // cap = 4 bits
+  EXPECT_THROW(net.run(
+                   [](NodeId, const Graph&) {
+                     return std::make_unique<Chatter>(1, 64);
+                   },
+                   4),
+               MessageTooLarge);
+}
+
+TEST(Network, LocalModeAllowsAndRecordsBigMessages) {
+  const Graph g = gen::cycle(8);
+  Network net(g, Model::kLocal, 1, 1);
+  const RunStats stats = net.run(
+      [](NodeId, const Graph&) { return std::make_unique<Chatter>(1, 5000); },
+      4);
+  EXPECT_EQ(stats.max_message_bits, 5000u);
+  EXPECT_TRUE(stats.completed);
+}
+
+TEST(Network, StatsCountMessagesAndBits) {
+  const Graph g = gen::cycle(10);  // 10 nodes, degree 2
+  Network net(g, Model::kCongest, 1);
+  const RunStats stats = net.run(
+      [](NodeId, const Graph&) { return std::make_unique<Chatter>(3, 7); },
+      10);
+  // 10 nodes * 2 ports * 3 rounds.
+  EXPECT_EQ(stats.messages, 60u);
+  EXPECT_EQ(stats.total_bits, 60u * 7u);
+  EXPECT_EQ(stats.max_message_bits, 7u);
+}
+
+TEST(Network, QuiescenceStopsEarly) {
+  const Graph g = gen::cycle(10);
+  Network net(g, Model::kCongest, 1);
+  const RunStats stats = net.run(
+      [](NodeId, const Graph&) { return std::make_unique<Chatter>(2, 1); },
+      1000);
+  EXPECT_TRUE(stats.completed);
+  EXPECT_LT(stats.rounds, 6u);
+}
+
+TEST(Network, BudgetExhaustionReportsIncomplete) {
+  const Graph g = gen::cycle(10);
+  Network net(g, Model::kCongest, 1);
+  const RunStats stats = net.run(
+      [](NodeId, const Graph&) { return std::make_unique<Chatter>(50, 1); },
+      5);
+  EXPECT_FALSE(stats.completed);
+  EXPECT_EQ(stats.rounds, 5u);
+}
+
+TEST(Network, OneHopPerRoundTiming) {
+  const NodeId n = 12;
+  const Graph g = gen::cycle(n);
+  Network net(g, Model::kCongest, 3);
+  std::vector<int> arrival(static_cast<std::size_t>(n), -1);
+  net.run(
+      [&arrival](NodeId, const Graph&) {
+        return std::make_unique<RingForwarder>(arrival);
+      },
+      100);
+  // The token starts at node 0 and travels one hop per round towards node
+  // 1, 2, ... (port 0 of node 0 leads to node 1 by construction).
+  EXPECT_EQ(arrival[0], 0);
+  for (NodeId v = 1; v < n; ++v) {
+    EXPECT_EQ(arrival[static_cast<std::size_t>(v)], v) << "node " << v;
+  }
+}
+
+TEST(Network, DeterministicUnderSeed) {
+  const Graph g = gen::gnp(30, 0.2, 5);
+  auto run_once = [&](std::uint64_t seed) {
+    Network net(g, Model::kCongest, seed);
+    RunStats s = net.run(
+        [](NodeId, const Graph&) { return std::make_unique<Chatter>(2, 3); },
+        10);
+    return s;
+  };
+  const RunStats a = run_once(7);
+  const RunStats b = run_once(7);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.total_bits, b.total_bits);
+}
+
+TEST(Network, MatchingRegistersRoundTrip) {
+  const Graph g = gen::cycle(8);
+  Network net(g, Model::kCongest, 1);
+  Matching m(8);
+  m.add(g, 0);
+  m.add(g, 4);
+  net.set_matching(m);
+  const Matching out = net.extract_matching();
+  EXPECT_TRUE(out == m);
+}
+
+TEST(Network, ExtractValidatesConsistency) {
+  // A process that points its register at a neighbor that does not point
+  // back must make extract_matching throw.
+  class OneSided final : public Process {
+   public:
+    void on_round(Context& ctx, std::span<const Envelope>) override {
+      if (ctx.id() == 0) ctx.set_mate_port(0);
+      halted_ = true;
+    }
+    [[nodiscard]] bool halted() const override { return halted_; }
+
+   private:
+    bool halted_ = false;
+  };
+  const Graph g = gen::cycle(6);
+  Network net(g, Model::kCongest, 1);
+  net.run([](NodeId, const Graph&) { return std::make_unique<OneSided>(); },
+          4);
+  EXPECT_THROW(net.extract_matching(), ContractViolation);
+}
+
+TEST(RunStats, MergeAndNormalize) {
+  RunStats a;
+  a.rounds = 10;
+  a.messages = 5;
+  a.total_bits = 100;
+  a.max_message_bits = 64;
+  RunStats b;
+  b.rounds = 3;
+  b.messages = 2;
+  b.total_bits = 10;
+  b.max_message_bits = 128;
+  b.completed = false;
+  a.merge(b);
+  EXPECT_EQ(a.rounds, 13u);
+  EXPECT_EQ(a.messages, 7u);
+  EXPECT_EQ(a.total_bits, 110u);
+  EXPECT_EQ(a.max_message_bits, 128u);
+  EXPECT_FALSE(a.completed);
+  EXPECT_EQ(a.normalized_rounds(128), 13u);
+  EXPECT_EQ(a.normalized_rounds(64), 26u);
+  EXPECT_EQ(a.normalized_rounds(0), 13u);
+}
+
+}  // namespace
+}  // namespace dmatch

@@ -1,0 +1,107 @@
+// Differential testing: independent implementations of overlapping
+// guarantees must agree with each other on shared instances.
+#include <gtest/gtest.h>
+
+#include "core/api.hpp"
+#include "graph/blossom.hpp"
+#include "graph/exact_small.hpp"
+#include "graph/generators.hpp"
+#include "graph/hopcroft_karp.hpp"
+#include "graph/hungarian.hpp"
+#include "graph/seq_matching.hpp"
+
+namespace dmatch {
+namespace {
+
+TEST(Differential, ThreeMcmAlgorithmsOnBipartiteInstances) {
+  // Theorem 3.7 (LOCAL), Theorem 3.10 (bipartite CONGEST) and Theorem 3.15
+  // (general CONGEST) all apply to bipartite inputs; each must clear its
+  // own bound against the same Hopcroft-Karp optimum.
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Graph g = gen::bipartite_gnp(16, 16, 0.2, seed + 30);
+    const auto opt = static_cast<double>(hopcroft_karp(g).size());
+    if (opt == 0) continue;
+
+    BipartiteMcmOptions bip;
+    bip.k = 3;
+    const auto a = approx_mcm_bipartite(g, seed, bip);
+    EXPECT_GE(a.matching.size() + 1e-9, (2.0 / 3) * opt) << seed;
+
+    GeneralMcmOptions gen_options;
+    gen_options.k = 3;
+    gen_options.seed = seed;
+    const auto b = approx_mcm_general(g, gen_options);
+    EXPECT_GE(b.matching.size() + 1e-9, (2.0 / 3) * opt) << seed;
+
+    LocalGenericOptions local;
+    local.epsilon = 1.0 / 3;
+    local.seed = seed;
+    const auto c = local_generic_mcm(g, local);
+    EXPECT_GE(c.matching.size() + 1e-9, (2.0 / 3) * opt) << seed;
+  }
+}
+
+TEST(Differential, TwoMwmAlgorithmsOnSharedInstances) {
+  // Algorithm 5 ((1/2 - eps)) and the Section 4 remark ((1 - eps)) on the
+  // same graphs, against the exponential oracle: the LOCAL algorithm's
+  // stronger guarantee must show.
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Graph g = gen::with_uniform_weights(gen::gnp(14, 0.3, seed + 40),
+                                              1.0, 25.0, seed + 41);
+    if (g.edge_count() == 0) continue;
+    const double opt = exact_mwm_value(g);
+
+    HalfMwmOptions half;
+    half.epsilon = 0.05;
+    half.seed = seed;
+    const double w_half = approx_mwm(g, half).matching.weight(g);
+    EXPECT_GE(w_half + 1e-9, 0.45 * opt) << seed;
+
+    LocalMwmOptions local;
+    local.epsilon = 0.34;
+    local.seed = seed;
+    const auto full = local_one_minus_eps_mwm(g, local);
+    EXPECT_GE(full.matching.weight(g) + 1e-9, 0.75 * opt) << seed;
+  }
+}
+
+TEST(Differential, HungarianAgreesWithExponentialOracle) {
+  // Independent exact solvers must agree exactly.
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Graph g = gen::with_uniform_weights(
+        gen::bipartite_gnp(8, 9, 0.4, seed + 50), 0.5, 12.0, seed + 51);
+    EXPECT_NEAR(hungarian_mwm(g).weight(g), exact_mwm_value(g), 1e-6) << seed;
+  }
+}
+
+TEST(Differential, BlossomAgreesWithHopcroftKarpOnBipartite) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Graph g = gen::bipartite_gnp(20, 20, 0.15, seed + 60);
+    EXPECT_EQ(blossom_mcm(g).size(), hopcroft_karp(g).size()) << seed;
+  }
+}
+
+TEST(Differential, CongestCapFactorDoesNotChangeResults) {
+  // The cap is an assertion, not an input: enlarging it must not alter any
+  // outcome.
+  const Graph g = gen::bipartite_gnp(20, 20, 0.2, 70);
+  const auto a = approx_mcm_bipartite(g, 5, {}, 48);
+  const auto b = approx_mcm_bipartite(g, 5, {}, 480);
+  EXPECT_TRUE(a.matching == b.matching);
+  EXPECT_EQ(a.stats.rounds, b.stats.rounds);
+}
+
+TEST(Differential, GreedyNeverBeatsExactAndAlwaysBeatsHalf) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Graph g = gen::with_exponential_weights(gen::gnp(14, 0.35, seed),
+                                                  50.0, seed + 1);
+    if (g.edge_count() == 0) continue;
+    const double opt = exact_mwm_value(g);
+    const double greedy = greedy_mwm(g).weight(g);
+    EXPECT_LE(greedy, opt + 1e-9);
+    EXPECT_GE(greedy + 1e-9, 0.5 * opt);
+  }
+}
+
+}  // namespace
+}  // namespace dmatch

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "graph/blossom.hpp"
+#include "graph/exact_small.hpp"
+#include "graph/generators.hpp"
+#include "graph/hopcroft_karp.hpp"
+#include "graph/hungarian.hpp"
+#include "graph/seq_matching.hpp"
+
+namespace dmatch {
+namespace {
+
+// ---------------------------------------------------------- exponential DP
+
+TEST(ExactSmall, KnownValues) {
+  EXPECT_EQ(exact_mcm_value(gen::path(2)), 1u);
+  EXPECT_EQ(exact_mcm_value(gen::path(4)), 2u);
+  EXPECT_EQ(exact_mcm_value(gen::cycle(5)), 2u);
+  EXPECT_EQ(exact_mcm_value(gen::cycle(6)), 3u);
+  EXPECT_EQ(exact_mcm_value(gen::complete(7)), 3u);
+  EXPECT_EQ(exact_mcm_value(gen::complete_bipartite(3, 5)), 3u);
+}
+
+TEST(ExactSmall, WeightedValues) {
+  // Triangle with one heavy edge: take the heavy edge alone.
+  const Graph t = Graph::from_edges(3, {{0, 1, 10}, {1, 2, 1}, {0, 2, 1}});
+  EXPECT_DOUBLE_EQ(exact_mwm_value(t), 10.0);
+  // Path with weights 3,5,3: the two ends beat the middle.
+  const Graph p =
+      Graph::from_edges(4, {{0, 1, 3}, {1, 2, 5}, {2, 3, 3}});
+  EXPECT_DOUBLE_EQ(exact_mwm_value(p), 6.0);
+}
+
+TEST(ExactSmall, EmptyAndSingleton) {
+  EXPECT_EQ(exact_mcm_value(Graph::from_edges(0, {})), 0u);
+  EXPECT_EQ(exact_mcm_value(Graph::from_edges(1, {})), 0u);
+  EXPECT_DOUBLE_EQ(exact_mwm_value(Graph::from_edges(3, {})), 0.0);
+}
+
+// ------------------------------------------------------------ HopcroftKarp
+
+class HopcroftKarpRandom
+    : public ::testing::TestWithParam<std::tuple<int, int, double, int>> {};
+
+TEST_P(HopcroftKarpRandom, MatchesExponentialOracle) {
+  const auto [nx, ny, p, seed] = GetParam();
+  const Graph g = gen::bipartite_gnp(nx, ny, p, static_cast<std::uint64_t>(seed));
+  const Matching m = hopcroft_karp(g);
+  EXPECT_TRUE(m.is_valid(g));
+  EXPECT_EQ(m.size(), exact_mcm_value(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HopcroftKarpRandom,
+    ::testing::Combine(::testing::Values(4, 7, 9), ::testing::Values(5, 9),
+                       ::testing::Values(0.15, 0.4, 0.8),
+                       ::testing::Values(1, 2, 3, 4)));
+
+TEST(HopcroftKarp, PerfectMatchingOnCompleteBipartite) {
+  const Matching m = hopcroft_karp(gen::complete_bipartite(20, 20));
+  EXPECT_EQ(m.size(), 20u);
+}
+
+TEST(HopcroftKarp, LargeSparseInstanceIsValidAndMaximal) {
+  const Graph g = gen::bipartite_gnp(300, 300, 0.02, 9);
+  const Matching m = hopcroft_karp(g);
+  EXPECT_TRUE(m.is_valid(g));
+  EXPECT_TRUE(m.is_maximal(g));
+}
+
+// ---------------------------------------------------------------- Blossom
+
+class BlossomRandom
+    : public ::testing::TestWithParam<std::tuple<int, double, int>> {};
+
+TEST_P(BlossomRandom, MatchesExponentialOracle) {
+  const auto [n, p, seed] = GetParam();
+  const Graph g = gen::gnp(n, p, static_cast<std::uint64_t>(seed));
+  const Matching m = blossom_mcm(g);
+  EXPECT_TRUE(m.is_valid(g));
+  EXPECT_EQ(m.size(), exact_mcm_value(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BlossomRandom,
+    ::testing::Combine(::testing::Values(6, 9, 12, 15),
+                       ::testing::Values(0.15, 0.3, 0.6),
+                       ::testing::Values(1, 2, 3, 4, 5)));
+
+TEST(Blossom, OddCyclesNeedBlossoms) {
+  EXPECT_EQ(blossom_mcm(gen::cycle(5)).size(), 2u);
+  EXPECT_EQ(blossom_mcm(gen::cycle(7)).size(), 3u);
+  // Two triangles joined by a bridge: perfect matching exists.
+  const Graph g = Graph::from_edges(
+      6, {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {4, 5}, {3, 5}});
+  EXPECT_EQ(blossom_mcm(g).size(), 3u);
+}
+
+TEST(Blossom, PetersenGraphHasPerfectMatching) {
+  std::vector<Edge> edges;
+  for (NodeId i = 0; i < 5; ++i) {
+    edges.push_back({i, static_cast<NodeId>((i + 1) % 5)});        // outer
+    edges.push_back({static_cast<NodeId>(i + 5),
+                     static_cast<NodeId>(5 + (i + 2) % 5)});       // inner
+    edges.push_back({i, static_cast<NodeId>(i + 5)});              // spokes
+  }
+  EXPECT_EQ(blossom_mcm(Graph::from_edges(10, std::move(edges))).size(), 5u);
+}
+
+TEST(Blossom, MediumRandomIsMaximal) {
+  const Graph g = gen::gnp(120, 0.05, 21);
+  const Matching m = blossom_mcm(g);
+  EXPECT_TRUE(m.is_valid(g));
+  EXPECT_TRUE(m.is_maximal(g));
+}
+
+// --------------------------------------------------------------- Hungarian
+
+class HungarianRandom
+    : public ::testing::TestWithParam<std::tuple<int, int, double, int>> {};
+
+TEST_P(HungarianRandom, MatchesExponentialOracle) {
+  const auto [nx, ny, p, seed] = GetParam();
+  const Graph g = gen::with_uniform_weights(
+      gen::bipartite_gnp(nx, ny, p, static_cast<std::uint64_t>(seed)), 0.5,
+      10.0, static_cast<std::uint64_t>(seed) + 100);
+  const Matching m = hungarian_mwm(g);
+  EXPECT_TRUE(m.is_valid(g));
+  EXPECT_NEAR(m.weight(g), exact_mwm_value(g), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HungarianRandom,
+    ::testing::Combine(::testing::Values(4, 7, 9), ::testing::Values(5, 9),
+                       ::testing::Values(0.2, 0.5, 0.9),
+                       ::testing::Values(1, 2, 3, 4)));
+
+TEST(Hungarian, PrefersHeavyOverMany) {
+  // One heavy edge vs two light ones sharing no nodes with it.
+  const Graph g = Graph::from_edges(
+      6, {{0, 3, 10.0}, {0, 4, 1.0}, {1, 3, 1.0}, {2, 5, 1.0}});
+  const Matching m = hungarian_mwm(g);
+  EXPECT_DOUBLE_EQ(m.weight(g), 11.0);  // 10 + the disjoint 2-5
+}
+
+TEST(Hungarian, UnweightedReducesToCardinality) {
+  const Graph g = gen::bipartite_gnp(12, 12, 0.3, 17);
+  EXPECT_DOUBLE_EQ(hungarian_mwm(g).weight(g),
+                   static_cast<double>(hopcroft_karp(g).size()));
+}
+
+// ----------------------------------------------------- sequential baselines
+
+class SeqBaselineRandom
+    : public ::testing::TestWithParam<std::tuple<int, double, int>> {};
+
+TEST_P(SeqBaselineRandom, GreedyIsHalfOptimal) {
+  const auto [n, p, seed] = GetParam();
+  const Graph g = gen::with_uniform_weights(
+      gen::gnp(n, p, static_cast<std::uint64_t>(seed)), 1.0, 8.0,
+      static_cast<std::uint64_t>(seed) + 50);
+  const double opt = exact_mwm_value(g);
+  EXPECT_GE(greedy_mwm(g).weight(g), 0.5 * opt - 1e-9);
+  EXPECT_GE(path_growing_mwm(g).weight(g), 0.5 * opt - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SeqBaselineRandom,
+    ::testing::Combine(::testing::Values(8, 12, 16),
+                       ::testing::Values(0.2, 0.5),
+                       ::testing::Values(1, 2, 3, 4, 5)));
+
+TEST(SeqBaselines, GreedyIsMaximal) {
+  const Graph g = gen::gnp(80, 0.1, 31);
+  EXPECT_TRUE(greedy_mwm(g).is_maximal(g));
+}
+
+TEST(SeqBaselines, GreedyCertifiesUpperBound) {
+  // 2 * w(greedy) >= w(M*): the standard certificate the weighted benches
+  // use when no exact solver is feasible.
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Graph g = gen::with_uniform_weights(gen::gnp(14, 0.4, seed), 1.0,
+                                              9.0, seed + 7);
+    EXPECT_LE(exact_mwm_value(g), 2.0 * greedy_mwm(g).weight(g) + 1e-9);
+  }
+}
+
+TEST(SeqBaselines, PathGrowingHandlesEdgeCases) {
+  EXPECT_EQ(path_growing_mwm(Graph::from_edges(3, {})).size(), 0u);
+  const Graph single = gen::path(2);
+  EXPECT_EQ(path_growing_mwm(single).size(), 1u);
+}
+
+}  // namespace
+}  // namespace dmatch

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/api.hpp"
+#include "graph/augmenting.hpp"
+#include "graph/blossom.hpp"
+#include "graph/generators.hpp"
+
+namespace dmatch {
+namespace {
+
+TEST(GeneralMcm, PaperBudgetFormula) {
+  // 2^(2k+1) (k+1) ln k.
+  EXPECT_EQ(general_mcm_paper_budget(3), 563);   // 128 * 4 * ln 3
+  EXPECT_GT(general_mcm_paper_budget(4), 2800);
+  EXPECT_GT(general_mcm_paper_budget(5), general_mcm_paper_budget(4));
+}
+
+class GeneralMcmParam
+    : public ::testing::TestWithParam<std::tuple<int, double, int, int>> {};
+
+TEST_P(GeneralMcmParam, ApproximationBoundHolds) {
+  const auto [n, p, k, seed] = GetParam();
+  const Graph g = gen::gnp(n, p, static_cast<std::uint64_t>(seed));
+  GeneralMcmOptions options;
+  options.k = k;
+  options.seed = static_cast<std::uint64_t>(seed) + 3;
+  options.patience = 40;
+  const GeneralMcmResult result = general_mcm(g, options);
+  EXPECT_TRUE(result.matching.is_valid(g));
+  const std::size_t opt = blossom_mcm(g).size();
+  EXPECT_GE(static_cast<double>(result.matching.size()) + 1e-9,
+            (1.0 - 1.0 / k) * static_cast<double>(opt))
+      << "n=" << n << " p=" << p << " k=" << k << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GeneralMcmParam,
+    ::testing::Combine(::testing::Values(12, 30, 60),
+                       ::testing::Values(0.1, 0.3),
+                       ::testing::Values(2, 3), ::testing::Values(1, 2)));
+
+TEST(GeneralMcm, OddCycleLowerBoundInstance) {
+  // C_2n: the paper's introduction notes an exact MCM needs Omega(n)
+  // rounds; the approximation algorithm must still reach (1 - 1/k) n.
+  const Graph g = gen::cycle(40);
+  GeneralMcmOptions options;
+  options.k = 4;
+  options.seed = 11;
+  const GeneralMcmResult result = general_mcm(g, options);
+  EXPECT_GE(result.matching.size(), 15u);  // (1 - 1/4) * 20
+}
+
+TEST(GeneralMcm, OddCyclesAndCliques) {
+  for (const Graph& g : {gen::cycle(25), gen::complete(21),
+                         gen::barabasi_albert(60, 2, 7)}) {
+    GeneralMcmOptions options;
+    options.k = 3;
+    options.seed = 13;
+    const GeneralMcmResult result = general_mcm(g, options);
+    EXPECT_TRUE(result.matching.is_valid(g));
+    const std::size_t opt = blossom_mcm(g).size();
+    EXPECT_GE(3 * result.matching.size() + 1, 2 * opt);
+  }
+}
+
+TEST(GeneralMcm, FixedPaperBudgetOnTinyInstance) {
+  const Graph g = gen::gnp(14, 0.3, 21);
+  GeneralMcmOptions options;
+  options.k = 3;
+  options.budget = GeneralMcmOptions::Budget::kFixedPaper;
+  options.seed = 5;
+  const GeneralMcmResult result = general_mcm(g, options);
+  EXPECT_EQ(result.iterations, general_mcm_paper_budget(3));
+  const std::size_t opt = blossom_mcm(g).size();
+  EXPECT_GE(3 * result.matching.size() + 1, 2 * opt);
+}
+
+TEST(GeneralMcm, AdaptiveStopsEarlyOnEasyInstances) {
+  const Graph g = gen::path(30);
+  GeneralMcmOptions options;
+  options.k = 3;
+  options.patience = 10;
+  options.seed = 6;
+  const GeneralMcmResult result = general_mcm(g, options);
+  EXPECT_LT(result.iterations, general_mcm_paper_budget(3));
+  EXPECT_TRUE(result.matching.is_valid(g));
+}
+
+TEST(GeneralMcm, ProductiveIterationsAreCounted) {
+  const Graph g = gen::gnp(40, 0.2, 22);
+  GeneralMcmOptions options;
+  options.k = 3;
+  options.seed = 7;
+  const GeneralMcmResult result = general_mcm(g, options);
+  EXPECT_GE(result.productive_iterations, 1);
+  EXPECT_LE(result.productive_iterations, result.iterations);
+  EXPECT_EQ(result.productive_iterations == 0, result.matching.size() == 0);
+}
+
+TEST(GeneralMcm, EmptyGraph) {
+  const Graph g = Graph::from_edges(5, {});
+  GeneralMcmOptions options;
+  options.k = 3;
+  options.patience = 2;
+  const GeneralMcmResult result = general_mcm(g, options);
+  EXPECT_EQ(result.matching.size(), 0u);
+}
+
+TEST(GeneralMcm, DeterministicUnderSeed) {
+  const Graph g = gen::gnp(30, 0.2, 23);
+  GeneralMcmOptions options;
+  options.k = 3;
+  options.seed = 42;
+  const GeneralMcmResult a = general_mcm(g, options);
+  const GeneralMcmResult b = general_mcm(g, options);
+  EXPECT_TRUE(a.matching == b.matching);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST(GeneralMcm, NoShortAugmentingPathSurvivesInPractice) {
+  // After convergence, shortest augmenting paths longer than 2k-1 may
+  // remain, but none of length <= 2k-1 should (w.h.p. with patience 40).
+  const Graph g = gen::gnp(24, 0.25, 29);
+  GeneralMcmOptions options;
+  options.k = 3;
+  options.patience = 40;
+  options.seed = 9;
+  const GeneralMcmResult result = general_mcm(g, options);
+  const auto remaining =
+      enumerate_augmenting_paths(g, result.matching, 2 * options.k - 1, 1);
+  EXPECT_TRUE(remaining.empty());
+}
+
+}  // namespace
+}  // namespace dmatch

@@ -1,0 +1,129 @@
+// End-to-end exercises of the public API, mirroring how the examples and
+// benches compose the library.
+#include <gtest/gtest.h>
+
+#include "core/api.hpp"
+#include "graph/blossom.hpp"
+#include "graph/generators.hpp"
+#include "graph/hopcroft_karp.hpp"
+#include "graph/hungarian.hpp"
+#include "graph/seq_matching.hpp"
+
+namespace dmatch {
+namespace {
+
+TEST(Integration, AllAlgorithmsOnOneBipartiteWorkload) {
+  const Graph g = gen::bipartite_gnp(30, 30, 0.15, 100);
+  const std::size_t opt = hopcroft_karp(g).size();
+
+  const auto ii = maximal_matching(g, 1);
+  EXPECT_GE(2 * ii.matching.size(), opt);
+
+  BipartiteMcmOptions bip;
+  bip.k = 5;
+  const auto ours = approx_mcm_bipartite(g, 2, bip);
+  EXPECT_GE(5 * ours.matching.size() + 4, 4 * opt);
+  EXPECT_GE(ours.matching.size(), ii.matching.size());
+
+  GeneralMcmOptions gen_options;
+  gen_options.k = 3;
+  gen_options.seed = 3;
+  const auto general = approx_mcm_general(g, gen_options);
+  EXPECT_GE(3 * general.matching.size() + 2, 2 * opt);
+}
+
+TEST(Integration, WeightedPipelineOnJobAssignmentShape) {
+  // The paper's job/server example: bipartite, weighted by benefit.
+  const Graph g = gen::with_uniform_weights(
+      gen::bipartite_gnp(25, 35, 0.2, 101), 1.0, 100.0, 102);
+  const double opt = hungarian_mwm(g).weight(g);
+
+  HalfMwmOptions options;
+  options.epsilon = 0.05;
+  options.seed = 4;
+  const auto result = approx_mwm(g, options);
+  EXPECT_GE(result.matching.weight(g) + 1e-9, 0.45 * opt);
+
+  // Distributed result also beats a quarter of the sequential greedy.
+  const double greedy = greedy_mwm(g).weight(g);
+  EXPECT_GE(result.matching.weight(g) + 1e-9, 0.45 * greedy);
+}
+
+TEST(Integration, ImprovementOverBaselineIsObservable) {
+  // On cycles the II baseline is visibly suboptimal while the (1-eps)
+  // algorithm gets close to n/2; this is the paper's headline improvement.
+  const Graph g = gen::cycle(60);
+  const std::size_t opt = blossom_mcm(g).size();  // 30
+  double ii_avg = 0;
+  const int trials = 10;
+  for (int t = 0; t < trials; ++t) {
+    ii_avg += static_cast<double>(maximal_matching(g, 500 + t).matching.size());
+  }
+  ii_avg /= trials;
+
+  GeneralMcmOptions options;
+  options.k = 5;
+  options.seed = 9;
+  const auto ours = approx_mcm_general(g, options);
+  EXPECT_GE(ours.matching.size(), static_cast<std::size_t>(0.8 * opt));
+  EXPECT_GT(static_cast<double>(ours.matching.size()), ii_avg - 1.0);
+}
+
+TEST(Integration, CongestCapHeldAcrossTheWholePipeline) {
+  const Graph g = gen::bipartite_gnp(50, 50, 0.1, 103);
+  congest::Network net(g, congest::Model::kCongest, 5);
+  const auto side = *g.bipartition();
+  BipartiteMcmOptions options;
+  options.k = 4;
+  const auto result = bipartite_mcm(net, side, options);
+  EXPECT_LE(result.stats.max_message_bits, net.message_cap_bits());
+  EXPECT_LE(net.total_stats().max_message_bits, net.message_cap_bits());
+}
+
+TEST(Integration, RegisterStatePersistsAcrossProtocols) {
+  // Run II first, then improve with phases on the same network: the final
+  // matching must contain no short augmenting paths and never shrink.
+  const Graph g = gen::bipartite_gnp(20, 20, 0.25, 104);
+  const auto side = *g.bipartition();
+  congest::Network net(g, congest::Model::kCongest, 6);
+  const auto ii = israeli_itai(net);
+  const std::size_t before = ii.matching.size();
+  PhaseOptions phase;
+  for (int ell = 1; ell <= 5; ell += 2) run_phase(net, side, ell, phase);
+  const Matching after = net.extract_matching();
+  EXPECT_GE(after.size(), before);
+  EXPECT_TRUE(after.is_valid(g));
+}
+
+TEST(Integration, NormalizedRoundsReflectTokenWidth) {
+  const Graph g = gen::bipartite_gnp(40, 40, 0.2, 105);
+  const auto result = approx_mcm_bipartite(g, 7);
+  congest::Network reference(g, congest::Model::kCongest, 0);
+  const auto normalized =
+      result.stats.normalized_rounds(reference.message_cap_bits());
+  EXPECT_GE(normalized, result.stats.rounds);
+}
+
+TEST(Integration, MixedWorkloadStress) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const Graph g = gen::with_uniform_weights(
+        gen::barabasi_albert(50, 2, seed), 1.0, 10.0, seed);
+    const auto mwm = approx_mwm(g, [&] {
+      HalfMwmOptions o;
+      o.epsilon = 0.1;
+      o.seed = seed;
+      return o;
+    }());
+    EXPECT_TRUE(mwm.matching.is_valid(g));
+
+    GeneralMcmOptions gmo;
+    gmo.k = 3;
+    gmo.seed = seed;
+    const auto mcm = approx_mcm_general(g, gmo);
+    EXPECT_TRUE(mcm.matching.is_valid(g));
+    EXPECT_GE(3 * mcm.matching.size() + 2, 2 * blossom_mcm(g).size());
+  }
+}
+
+}  // namespace
+}  // namespace dmatch

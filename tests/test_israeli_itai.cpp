@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/api.hpp"
+#include "graph/blossom.hpp"
+#include "graph/generators.hpp"
+
+namespace dmatch {
+namespace {
+
+class IsraeliItaiParam
+    : public ::testing::TestWithParam<std::tuple<int, double, int>> {};
+
+TEST_P(IsraeliItaiParam, ProducesMaximalMatching) {
+  const auto [n, p, seed] = GetParam();
+  const Graph g = gen::gnp(n, p, static_cast<std::uint64_t>(seed));
+  const IsraeliItaiResult result =
+      maximal_matching(g, static_cast<std::uint64_t>(seed) + 17);
+  EXPECT_TRUE(result.stats.completed);
+  EXPECT_TRUE(result.matching.is_valid(g));
+  EXPECT_TRUE(result.matching.is_maximal(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IsraeliItaiParam,
+    ::testing::Combine(::testing::Values(10, 60, 250),
+                       ::testing::Values(0.02, 0.1, 0.5),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(IsraeliItai, HalfApproximationHolds) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Graph g = gen::gnp(80, 0.08, seed);
+    const IsraeliItaiResult result = maximal_matching(g, seed);
+    const std::size_t opt = blossom_mcm(g).size();
+    EXPECT_GE(2 * result.matching.size(), opt) << "seed " << seed;
+  }
+}
+
+TEST(IsraeliItai, StructuredTopologies) {
+  for (const Graph& g :
+       {gen::cycle(50), gen::grid(8, 8), gen::complete(30),
+        gen::random_tree(70, 2), gen::barabasi_albert(100, 2, 3)}) {
+    const IsraeliItaiResult result = maximal_matching(g, 5);
+    EXPECT_TRUE(result.matching.is_valid(g));
+    EXPECT_TRUE(result.matching.is_maximal(g));
+  }
+}
+
+TEST(IsraeliItai, EmptyAndTinyGraphs) {
+  const Graph empty = Graph::from_edges(4, {});
+  EXPECT_EQ(maximal_matching(empty, 1).matching.size(), 0u);
+  const Graph single = gen::path(2);
+  EXPECT_EQ(maximal_matching(single, 1).matching.size(), 1u);
+}
+
+TEST(IsraeliItai, RoundsLogarithmicInPractice) {
+  const Graph g = gen::gnp(500, 0.02, 11);
+  const IsraeliItaiResult result = maximal_matching(g, 11);
+  EXPECT_TRUE(result.stats.completed);
+  // ~9 = log2(500) iterations of 3 rounds; allow a generous constant.
+  EXPECT_LT(result.stats.rounds, 30 * 9u);
+}
+
+TEST(IsraeliItai, RespectsCongestCap) {
+  const Graph g = gen::gnp(200, 0.05, 12);
+  congest::Network net(g, congest::Model::kCongest, 12, 8);
+  const IsraeliItaiResult result = israeli_itai(net);
+  EXPECT_LE(result.stats.max_message_bits, net.message_cap_bits());
+  EXPECT_LT(result.stats.max_message_bits, 4u);  // 2-bit kind only
+}
+
+TEST(IsraeliItai, EligibleEdgesRestrictTheMatching) {
+  const Graph g = gen::complete(10);
+  congest::Network net(g, congest::Model::kCongest, 3);
+  IsraeliItaiOptions options;
+  options.eligible_edges.assign(static_cast<std::size_t>(g.edge_count()),
+                                false);
+  // Allow only edges incident to node 0.
+  for (EdgeId e : g.incident_edges(0)) {
+    options.eligible_edges[static_cast<std::size_t>(e)] = true;
+  }
+  const IsraeliItaiResult result = israeli_itai(net, options);
+  EXPECT_LE(result.matching.size(), 1u);
+  if (result.matching.size() == 1) {
+    EXPECT_TRUE(result.matching.is_matched(0));
+  }
+}
+
+TEST(IsraeliItai, PreMatchedNodesAreRespected) {
+  const Graph g = gen::path(6);  // 0-1-2-3-4-5
+  congest::Network net(g, congest::Model::kCongest, 4);
+  Matching pre(6);
+  pre.add(g, 2);  // 2-3 pre-matched
+  net.set_matching(pre);
+  const IsraeliItaiResult result = israeli_itai(net);
+  EXPECT_TRUE(result.matching.contains(g, 2));
+  EXPECT_TRUE(result.matching.is_maximal(g));
+  // 0-1 and 4-5 must both be matched (forced by maximality).
+  EXPECT_EQ(result.matching.size(), 3u);
+}
+
+TEST(IsraeliItai, SequentialClassRunsAccumulate) {
+  // Emulates what the class-greedy black box does: restrict to one edge
+  // class, run, then restrict to the next.
+  const Graph g = gen::cycle(12);
+  congest::Network net(g, congest::Model::kCongest, 6);
+  IsraeliItaiOptions first;
+  first.eligible_edges.assign(static_cast<std::size_t>(g.edge_count()), false);
+  first.eligible_edges[0] = true;
+  israeli_itai(net, first);
+  IsraeliItaiOptions second;
+  second.eligible_edges.assign(static_cast<std::size_t>(g.edge_count()),
+                               false);
+  for (EdgeId e = 1; e < g.edge_count(); ++e) {
+    second.eligible_edges[static_cast<std::size_t>(e)] = true;
+  }
+  const IsraeliItaiResult result = israeli_itai(net, second);
+  EXPECT_TRUE(result.matching.contains(g, 0));  // survived the second run
+  EXPECT_TRUE(result.matching.is_valid(g));
+  EXPECT_TRUE(result.matching.is_maximal(g));
+}
+
+TEST(IsraeliItai, DeterministicUnderSeed) {
+  const Graph g = gen::gnp(60, 0.1, 13);
+  const IsraeliItaiResult a = maximal_matching(g, 42);
+  const IsraeliItaiResult b = maximal_matching(g, 42);
+  EXPECT_TRUE(a.matching == b.matching);
+  EXPECT_EQ(a.stats.rounds, b.stats.rounds);
+}
+
+}  // namespace
+}  // namespace dmatch

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/api.hpp"
+#include "graph/augmenting.hpp"
+#include "graph/blossom.hpp"
+#include "graph/generators.hpp"
+#include "graph/hopcroft_karp.hpp"
+
+namespace dmatch {
+namespace {
+
+class LocalGenericParam
+    : public ::testing::TestWithParam<std::tuple<int, double, double, int>> {};
+
+TEST_P(LocalGenericParam, ApproximationBoundHolds) {
+  const auto [n, p, eps, seed] = GetParam();
+  const Graph g = gen::gnp(n, p, static_cast<std::uint64_t>(seed));
+  LocalGenericOptions options;
+  options.epsilon = eps;
+  options.seed = static_cast<std::uint64_t>(seed) + 13;
+  const LocalGenericResult result = local_generic_mcm(g, options);
+  EXPECT_TRUE(result.matching.is_valid(g));
+  const std::size_t opt = blossom_mcm(g).size();
+  // With phase retries the postcondition "no augmenting path of length
+  // <= 2k-1" holds, so Lemma 3.3 gives the bound deterministically.
+  EXPECT_GE(static_cast<double>(result.matching.size()) + 1e-9,
+            (1.0 - eps) * static_cast<double>(opt))
+      << "n=" << n << " p=" << p << " eps=" << eps << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LocalGenericParam,
+    ::testing::Combine(::testing::Values(12, 24, 40),
+                       ::testing::Values(0.1, 0.25),
+                       ::testing::Values(0.51, 0.34),
+                       ::testing::Values(1, 2)));
+
+TEST(LocalGeneric, PhasePostconditionHolds) {
+  const Graph g = gen::gnp(30, 0.15, 5);
+  LocalGenericOptions options;
+  options.epsilon = 0.34;  // k = 3: phases 1, 3, 5
+  options.seed = 21;
+  const LocalGenericResult result = local_generic_mcm(g, options);
+  EXPECT_TRUE(enumerate_augmenting_paths(g, result.matching, 5, 1).empty());
+}
+
+TEST(LocalGeneric, WorksOnOddStructures) {
+  for (const Graph& g : {gen::cycle(15), gen::complete(10),
+                         gen::random_tree(25, 4)}) {
+    LocalGenericOptions options;
+    options.epsilon = 0.5;
+    options.seed = 6;
+    const LocalGenericResult result = local_generic_mcm(g, options);
+    EXPECT_TRUE(result.matching.is_valid(g));
+    const std::size_t opt = blossom_mcm(g).size();
+    EXPECT_GE(2 * result.matching.size(), opt);
+  }
+}
+
+TEST(LocalGeneric, MessageSizesShowLocalBlowup) {
+  // The LOCAL generic algorithm's whole point of comparison: its messages
+  // are far larger than the CONGEST cap (Lemma 3.4 vs Theorem 3.10).
+  const Graph g = gen::gnp(32, 0.2, 7);
+  LocalGenericOptions options;
+  options.epsilon = 0.51;
+  options.seed = 8;
+  const LocalGenericResult result = local_generic_mcm(g, options);
+  congest::Network reference(g, congest::Model::kCongest, 0);
+  EXPECT_GT(result.stats.max_message_bits, reference.message_cap_bits());
+}
+
+TEST(LocalGeneric, BipartiteMatchesHopcroftKarpClosely) {
+  const Graph g = gen::bipartite_gnp(15, 15, 0.25, 9);
+  LocalGenericOptions options;
+  options.epsilon = 0.26;  // k = 4
+  options.seed = 10;
+  const LocalGenericResult result = local_generic_mcm(g, options);
+  const std::size_t opt = hopcroft_karp(g).size();
+  EXPECT_GE(4 * result.matching.size() + 1, 3 * opt);
+}
+
+TEST(LocalGeneric, EmptyAndTiny) {
+  const Graph empty = Graph::from_edges(3, {});
+  EXPECT_EQ(local_generic_mcm(empty, {}).matching.size(), 0u);
+  const Graph single = gen::path(2);
+  LocalGenericOptions options;
+  options.epsilon = 1.0;
+  const LocalGenericResult result = local_generic_mcm(single, options);
+  EXPECT_EQ(result.matching.size(), 1u);
+}
+
+TEST(LocalGeneric, DeterministicUnderSeed) {
+  const Graph g = gen::gnp(20, 0.2, 11);
+  LocalGenericOptions options;
+  options.epsilon = 0.51;
+  options.seed = 33;
+  const LocalGenericResult a = local_generic_mcm(g, options);
+  const LocalGenericResult b = local_generic_mcm(g, options);
+  EXPECT_TRUE(a.matching == b.matching);
+  EXPECT_EQ(a.stats.rounds, b.stats.rounds);
+}
+
+}  // namespace
+}  // namespace dmatch

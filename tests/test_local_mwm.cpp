@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/api.hpp"
+#include "graph/augmenting.hpp"
+#include "graph/exact_small.hpp"
+#include "graph/generators.hpp"
+#include "graph/hungarian.hpp"
+#include "graph/seq_matching.hpp"
+
+namespace dmatch {
+namespace {
+
+// ------------------------------------------- augmentation enumerator
+
+TEST(AugmentationEnumerator, FindsAugmentingPaths) {
+  // 0-1-2-3 with 1-2 matched: the classic length-3 augmenting path plus
+  // shorter alternating walks ending on the matched edge.
+  const Graph g = gen::path(4);
+  Matching m(4);
+  m.add(g, 1);
+  const auto augs = enumerate_alternating_augmentations(g, m, 3);
+  bool found_full_path = false;
+  for (const auto& a : augs) {
+    EXPECT_FALSE(a.is_cycle);
+    if (a.edges.size() == 3) {
+      found_full_path = true;
+      EXPECT_EQ(a.nodes, (std::vector<NodeId>{0, 1, 2, 3}));
+    }
+  }
+  EXPECT_TRUE(found_full_path);
+}
+
+TEST(AugmentationEnumerator, FindsAlternatingCycles) {
+  // C4 with opposite edges matched: exactly one alternating 4-cycle.
+  const Graph g = gen::cycle(4);
+  Matching m(4);
+  m.add(g, 0);  // 0-1
+  m.add(g, 2);  // 2-3
+  const auto augs = enumerate_alternating_augmentations(g, m, 4);
+  int cycles = 0;
+  for (const auto& a : augs) {
+    if (a.is_cycle) {
+      ++cycles;
+      EXPECT_EQ(a.edges.size(), 4u);
+      EXPECT_EQ(a.nodes.front(), a.nodes.back());
+    }
+  }
+  EXPECT_EQ(cycles, 1);
+}
+
+TEST(AugmentationEnumerator, EveryAugmentationIsApplicable) {
+  // Property: M (+) A is a valid matching for every reported augmentation.
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Graph g = gen::gnp(14, 0.3, seed);
+    const Matching m = greedy_mwm(g);
+    for (const auto& a : enumerate_alternating_augmentations(g, m, 5)) {
+      Matching copy = m;
+      EXPECT_NO_THROW(copy.symmetric_difference(g, a.edges))
+          << "seed " << seed;
+      EXPECT_TRUE(copy.is_valid(g));
+    }
+  }
+}
+
+TEST(AugmentationEnumerator, SubsumesAugmentingPathEnumerator) {
+  // Every classic augmenting path must appear among the augmentations.
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Graph g = gen::gnp(12, 0.3, seed + 20);
+    const Matching m = greedy_mwm(g);
+    const auto paths = enumerate_augmenting_paths(g, m, 5);
+    const auto augs = enumerate_alternating_augmentations(g, m, 5);
+    std::size_t aug_paths = 0;
+    for (const auto& a : augs) {
+      if (!a.is_cycle && a.edges.size() % 2 == 1 &&
+          !m.contains(g, a.edges.front()) && !m.contains(g, a.edges.back())) {
+        ++aug_paths;
+      }
+    }
+    EXPECT_GE(aug_paths, paths.size()) << "seed " << seed;
+  }
+}
+
+TEST(AugmentationEnumerator, SkipsSingleMatchedEdges) {
+  const Graph g = gen::path(2);
+  Matching m(2);
+  m.add(g, 0);
+  EXPECT_TRUE(enumerate_alternating_augmentations(g, m, 3).empty());
+}
+
+TEST(AugmentationEnumerator, MaxCountTruncates) {
+  const Graph g = gen::complete_bipartite(4, 4);
+  const Matching m(8);
+  EXPECT_EQ(enumerate_alternating_augmentations(g, m, 1, 5).size(), 5u);
+}
+
+// ------------------------------------------------- (1 - eps)-MWM (LOCAL)
+
+TEST(LocalMwm, CycleSwapIsFound) {
+  // C4 where the current greedy-looking matching is 10x lighter than the
+  // optimum; the only improvement is the alternating cycle.
+  const Graph g = Graph::from_edges(
+      4, {{0, 1, 1.0}, {1, 2, 10.0}, {2, 3, 1.0}, {0, 3, 10.0}});
+  LocalMwmOptions options;
+  options.epsilon = 0.5;
+  options.seed = 3;
+  const LocalMwmResult result = local_one_minus_eps_mwm(g, options);
+  EXPECT_DOUBLE_EQ(result.matching.weight(g), 20.0);
+}
+
+class LocalMwmParam
+    : public ::testing::TestWithParam<std::tuple<int, double, double, int>> {};
+
+TEST_P(LocalMwmParam, MeetsGuaranteeAgainstExactOracle) {
+  const auto [n, p, eps, seed] = GetParam();
+  const Graph g = gen::with_uniform_weights(
+      gen::gnp(n, p, static_cast<std::uint64_t>(seed)), 1.0, 20.0,
+      static_cast<std::uint64_t>(seed) + 90);
+  LocalMwmOptions options;
+  options.epsilon = eps;
+  options.seed = static_cast<std::uint64_t>(seed);
+  const LocalMwmResult result = local_one_minus_eps_mwm(g, options);
+  EXPECT_TRUE(result.matching.is_valid(g));
+  const double opt = exact_mwm_value(g);
+  EXPECT_GE(result.matching.weight(g) + 1e-9, result.guarantee * opt)
+      << "n=" << n << " p=" << p << " eps=" << eps << " seed=" << seed;
+  EXPECT_GE(result.guarantee, 1.0 - eps);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LocalMwmParam,
+    ::testing::Combine(::testing::Values(10, 14, 18),
+                       ::testing::Values(0.2, 0.4),
+                       ::testing::Values(0.51, 0.34),
+                       ::testing::Values(1, 2)));
+
+TEST(LocalMwm, BipartiteAgainstHungarian) {
+  const Graph g = gen::with_uniform_weights(
+      gen::bipartite_gnp(10, 10, 0.3, 5), 1.0, 30.0, 6);
+  LocalMwmOptions options;
+  options.epsilon = 0.34;  // k = 3 -> guarantee 3/4
+  options.seed = 7;
+  const LocalMwmResult result = local_one_minus_eps_mwm(g, options);
+  const double opt = hungarian_mwm(g).weight(g);
+  EXPECT_GE(result.matching.weight(g) + 1e-9, 0.75 * opt);
+}
+
+TEST(LocalMwm, BeatsTheHalfBarrierOnSeriesPath) {
+  // Three unit edges in series defeat Algorithm 5 (all gains 0 once the
+  // middle edge is matched); the (1 - eps) algorithm must still find the
+  // optimum because the full path is a positive augmentation.
+  const Graph g =
+      Graph::from_edges(4, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}});
+  LocalMwmOptions options;
+  options.epsilon = 0.34;
+  options.seed = 8;
+  const LocalMwmResult result = local_one_minus_eps_mwm(g, options);
+  EXPECT_DOUBLE_EQ(result.matching.weight(g), 2.0);
+}
+
+TEST(LocalMwm, MessagesExceedCongestCap) {
+  const Graph g = gen::with_uniform_weights(gen::gnp(20, 0.2, 9), 1.0, 9.0,
+                                            10);
+  LocalMwmOptions options;
+  options.epsilon = 0.51;
+  options.seed = 11;
+  const LocalMwmResult result = local_one_minus_eps_mwm(g, options);
+  congest::Network ref(g, congest::Model::kCongest, 0);
+  EXPECT_GT(result.stats.max_message_bits, ref.message_cap_bits());
+}
+
+TEST(LocalMwm, DeterministicUnderSeed) {
+  const Graph g = gen::with_uniform_weights(gen::gnp(14, 0.3, 12), 1.0, 9.0,
+                                            13);
+  LocalMwmOptions options;
+  options.epsilon = 0.51;
+  options.seed = 21;
+  const LocalMwmResult a = local_one_minus_eps_mwm(g, options);
+  const LocalMwmResult b = local_one_minus_eps_mwm(g, options);
+  EXPECT_TRUE(a.matching == b.matching);
+  EXPECT_EQ(a.sweeps, b.sweeps);
+}
+
+TEST(LocalMwm, EmptyGraph) {
+  const Graph g = Graph::from_edges(3, {});
+  const LocalMwmResult result = local_one_minus_eps_mwm(g, {});
+  EXPECT_EQ(result.matching.size(), 0u);
+  EXPECT_EQ(result.sweeps, 0);
+}
+
+TEST(LocalMwm, FixedSweepScheduleAlsoWorks) {
+  const Graph g = gen::with_uniform_weights(gen::gnp(12, 0.3, 14), 1.0, 9.0,
+                                            15);
+  LocalMwmOptions options;
+  options.epsilon = 0.51;
+  options.adaptive_sweeps = false;
+  options.seed = 16;
+  const LocalMwmResult result = local_one_minus_eps_mwm(g, options);
+  EXPECT_EQ(result.sweeps, 8);  // ceil(4 / 0.51)
+  EXPECT_TRUE(result.matching.is_valid(g));
+  const double opt = exact_mwm_value(g);
+  // Fixed schedule: w.h.p. rather than certified, so allow slack.
+  EXPECT_GE(result.matching.weight(g) + 1e-9, 0.4 * opt);
+}
+
+}  // namespace
+}  // namespace dmatch

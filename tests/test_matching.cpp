@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/matching.hpp"
+#include "support/assert.hpp"
+
+namespace dmatch {
+namespace {
+
+TEST(Matching, StartsEmpty) {
+  const Matching m(5);
+  EXPECT_EQ(m.size(), 0u);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_TRUE(m.is_free(v));
+    EXPECT_EQ(m.mate(v), kNoNode);
+    EXPECT_EQ(m.matched_edge(v), kNoEdge);
+  }
+}
+
+TEST(Matching, AddAndRemove) {
+  const Graph g = gen::path(4);  // edges: 0-1, 1-2, 2-3
+  Matching m(4);
+  m.add(g, 0);
+  EXPECT_TRUE(m.contains(g, 0));
+  EXPECT_EQ(m.mate(0), 1);
+  EXPECT_EQ(m.mate(1), 0);
+  EXPECT_EQ(m.size(), 1u);
+  m.remove(g, 0);
+  EXPECT_FALSE(m.contains(g, 0));
+  EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(Matching, AddRejectsConflicts) {
+  const Graph g = gen::path(4);
+  Matching m(4);
+  m.add(g, 0);                                     // 0-1
+  EXPECT_THROW(m.add(g, 1), ContractViolation);    // 1-2 conflicts at 1
+  EXPECT_NO_THROW(m.add(g, 2));                    // 2-3 fine
+}
+
+TEST(Matching, RemoveRejectsAbsentEdge) {
+  const Graph g = gen::path(4);
+  Matching m(4);
+  EXPECT_THROW(m.remove(g, 0), ContractViolation);
+}
+
+TEST(Matching, WeightSumsMatchedEdges) {
+  const Graph g = Graph::from_edges(4, {{0, 1, 2.0}, {2, 3, 3.5}});
+  Matching m(4);
+  m.add(g, 0);
+  m.add(g, 1);
+  EXPECT_DOUBLE_EQ(m.weight(g), 5.5);
+}
+
+TEST(Matching, EdgesAndFreeNodes) {
+  const Graph g = gen::path(5);
+  Matching m(5);
+  m.add(g, 1);  // 1-2
+  const auto edges = m.edges(g);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0], 1);
+  const auto free = m.free_nodes();
+  EXPECT_EQ(free, (std::vector<NodeId>{0, 3, 4}));
+}
+
+TEST(Matching, AugmentAlongPath) {
+  // Path graph 0-1-2-3 with 1-2 matched; augmenting path is all three
+  // edges. After augmenting, 0-1 and 2-3 are matched.
+  const Graph g = gen::path(4);
+  Matching m(4);
+  m.add(g, 1);
+  const std::vector<EdgeId> path = {0, 1, 2};
+  m.augment(g, path);
+  EXPECT_TRUE(m.contains(g, 0));
+  EXPECT_FALSE(m.contains(g, 1));
+  EXPECT_TRUE(m.contains(g, 2));
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_TRUE(m.is_valid(g));
+}
+
+TEST(Matching, SymmetricDifferenceValidatesResult) {
+  const Graph g = gen::path(4);
+  Matching m(4);
+  m.add(g, 0);
+  // {0-1, 1-2}: dropping 0-1 and adding 1-2 is fine.
+  EXPECT_NO_THROW(m.symmetric_difference(g, std::vector<EdgeId>{0, 1}));
+  EXPECT_TRUE(m.contains(g, 1));
+  // Adding 0-1 and 2-3 now conflicts with matched 1-2 at nodes 1 and 2.
+  EXPECT_THROW(m.symmetric_difference(g, std::vector<EdgeId>{0, 2}),
+               ContractViolation);
+}
+
+TEST(Matching, FromEdgeIds) {
+  const Graph g = gen::cycle(6);
+  const Matching m = Matching::from_edge_ids(g, std::vector<EdgeId>{0, 2, 4});
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_TRUE(m.is_valid(g));
+  EXPECT_TRUE(m.is_maximal(g));
+}
+
+TEST(Matching, MaximalityCheck) {
+  const Graph g = gen::path(5);
+  Matching m(5);
+  m.add(g, 1);  // 1-2 leaves 3-4 free
+  EXPECT_FALSE(m.is_maximal(g));
+  m.add(g, 3);
+  EXPECT_TRUE(m.is_maximal(g));
+}
+
+TEST(Matching, ValidityDetectsCorruption) {
+  const Graph g = gen::path(4);
+  Matching a(4);
+  EXPECT_TRUE(a.is_valid(g));
+  Matching wrong_size(3);
+  EXPECT_FALSE(wrong_size.is_valid(g));
+}
+
+TEST(Matching, EqualityIsByEdges) {
+  const Graph g = gen::path(4);
+  Matching a(4);
+  Matching b(4);
+  EXPECT_TRUE(a == b);
+  a.add(g, 0);
+  EXPECT_FALSE(a == b);
+  b.add(g, 0);
+  EXPECT_TRUE(a == b);
+}
+
+}  // namespace
+}  // namespace dmatch

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/hopcroft_karp.hpp"
+#include "switchsim/switch_sim.hpp"
+
+namespace dmatch {
+namespace {
+
+using switchsim::simulate_switch;
+using switchsim::SwitchStats;
+using switchsim::TrafficConfig;
+
+TEST(SwitchSim, ConservesPackets) {
+  TrafficConfig traffic;
+  traffic.load = 0.8;
+  const SwitchStats stats =
+      simulate_switch(8, 500, traffic, switchsim::schedule_maximum, 1);
+  EXPECT_EQ(stats.arrived, stats.delivered + stats.backlog);
+}
+
+TEST(SwitchSim, ZeroLoadMeansNoTraffic) {
+  TrafficConfig traffic;
+  traffic.load = 0.0;
+  const SwitchStats stats =
+      simulate_switch(4, 100, traffic, switchsim::schedule_maximum, 2);
+  EXPECT_EQ(stats.arrived, 0u);
+  EXPECT_EQ(stats.delivered, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_delay(), 0.0);
+}
+
+TEST(SwitchSim, MaximumSchedulerSustainsModerateLoad) {
+  TrafficConfig traffic;
+  traffic.load = 0.6;
+  const SwitchStats stats =
+      simulate_switch(8, 2000, traffic, switchsim::schedule_maximum, 3);
+  EXPECT_GT(stats.throughput(), 0.98);
+}
+
+TEST(SwitchSim, DiagonalTrafficIsTrivialForAnyMatching) {
+  // One packet per input per cycle, all to distinct outputs: any maximal
+  // matching drains everything.
+  TrafficConfig traffic;
+  traffic.pattern = TrafficConfig::Pattern::kDiagonal;
+  traffic.load = 1.0;
+  const SwitchStats stats = simulate_switch(
+      6, 300, traffic,
+      [](const Graph& g, int cycle) {
+        return switchsim::schedule_israeli_itai(g, cycle, 5);
+      },
+      4);
+  EXPECT_EQ(stats.backlog, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_delay(), 0.0);
+}
+
+TEST(SwitchSim, DeterministicUnderSeed) {
+  TrafficConfig traffic;
+  traffic.load = 0.9;
+  const auto run = [&] {
+    return simulate_switch(
+        8, 300, traffic,
+        [](const Graph& g, int cycle) {
+          return switchsim::schedule_bipartite_mcm(g, cycle, 3, 7);
+        },
+        42);
+  };
+  const SwitchStats a = run();
+  const SwitchStats b = run();
+  EXPECT_EQ(a.arrived, b.arrived);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.total_delay_cycles, b.total_delay_cycles);
+}
+
+TEST(SwitchSim, BetterSchedulersGiveNoMoreBacklog) {
+  // Statistical, with a healthy margin: the maximum-matching scheduler
+  // should not have (much) more backlog than the II scheduler.
+  TrafficConfig traffic;
+  traffic.load = 0.95;
+  const SwitchStats best =
+      simulate_switch(12, 2000, traffic, switchsim::schedule_maximum, 8);
+  const SwitchStats ii = simulate_switch(
+      12, 2000, traffic,
+      [](const Graph& g, int cycle) {
+        return switchsim::schedule_israeli_itai(g, cycle, 9);
+      },
+      8);
+  EXPECT_LE(best.backlog, ii.backlog + 50);
+}
+
+TEST(SwitchSim, BurstyTrafficStillConserves) {
+  TrafficConfig traffic;
+  traffic.pattern = TrafficConfig::Pattern::kBursty;
+  traffic.load = 0.7;
+  traffic.mean_burst_length = 5;
+  const SwitchStats stats = simulate_switch(
+      6, 800, traffic,
+      [](const Graph& g, int cycle) {
+        return switchsim::schedule_bipartite_mcm(g, cycle, 3, 11);
+      },
+      12);
+  EXPECT_EQ(stats.arrived, stats.delivered + stats.backlog);
+  EXPECT_GT(stats.arrived, 0u);
+}
+
+TEST(Islip, ProducesValidMatchingEachCycle) {
+  switchsim::IslipScheduler islip(6);
+  TrafficConfig traffic;
+  traffic.load = 0.9;
+  const SwitchStats stats = simulate_switch(
+      6, 500, traffic,
+      [&islip](const Graph& g, int cycle) { return islip(g, cycle); }, 21);
+  EXPECT_EQ(stats.arrived, stats.delivered + stats.backlog);
+  EXPECT_GT(stats.throughput(), 0.8);
+}
+
+TEST(Islip, SingleIterationIsStillAMatching) {
+  switchsim::IslipScheduler islip(4, 1);
+  const Graph requests = gen::complete_bipartite(4, 4);
+  const Matching m = islip(requests, 0);
+  EXPECT_TRUE(m.is_valid(requests));
+  EXPECT_GE(m.size(), 1u);
+}
+
+TEST(Islip, FullDemandDesynchronizesToPerfectMatchings) {
+  // Under full uniform demand iSLIP's pointers desynchronize and it
+  // serves one packet per port per cycle (its classic property).
+  switchsim::IslipScheduler islip(5);
+  const Graph requests = gen::complete_bipartite(5, 5);
+  std::size_t matched_late = 0;
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    const Matching m = islip(requests, cycle);
+    if (cycle >= 25) matched_late += m.size();
+  }
+  EXPECT_EQ(matched_late, 25u * 5u);
+}
+
+TEST(Islip, RoundRobinIsFairOnSingleOutputContention) {
+  // All five inputs want only output 0: each must be served in turn.
+  std::vector<Edge> edges;
+  for (NodeId i = 0; i < 5; ++i) edges.push_back({i, 5, 1.0});
+  const Graph requests = Graph::from_edges(10, std::move(edges));
+  switchsim::IslipScheduler islip(5);
+  std::vector<int> served(5, 0);
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    const Matching m = islip(requests, cycle);
+    ASSERT_EQ(m.size(), 1u);
+    for (NodeId i = 0; i < 5; ++i) {
+      if (m.is_matched(i)) ++served[static_cast<std::size_t>(i)];
+    }
+  }
+  for (int count : served) EXPECT_EQ(count, 4);
+}
+
+TEST(SwitchSim, RejectsBadParameters) {
+  TrafficConfig traffic;
+  EXPECT_THROW(
+      simulate_switch(1, 10, traffic, switchsim::schedule_maximum, 1),
+      ContractViolation);
+  traffic.load = 1.5;
+  EXPECT_THROW(
+      simulate_switch(4, 10, traffic, switchsim::schedule_maximum, 1),
+      ContractViolation);
+}
+
+}  // namespace
+}  // namespace dmatch

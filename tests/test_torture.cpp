@@ -1,0 +1,165 @@
+// Cross-product stress: every CONGEST algorithm against every graph
+// family, asserting the full invariant set each time (validity, the
+// approximation bound against an exact oracle, message-cap compliance).
+// Families are chosen to hit the structural corner cases: odd cycles
+// (blossoms), stars (hub contention), long paths (deep augmenting paths),
+// dense cliques, heavy-tailed degrees, disconnected graphs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/api.hpp"
+#include "graph/blossom.hpp"
+#include "graph/generators.hpp"
+#include "graph/hungarian.hpp"
+#include "graph/seq_matching.hpp"
+
+namespace dmatch {
+namespace {
+
+Graph star(NodeId leaves) {
+  std::vector<Edge> edges;
+  for (NodeId v = 1; v <= leaves; ++v) edges.push_back({0, v, 1.0});
+  return Graph::from_edges(leaves + 1, std::move(edges));
+}
+
+Graph disjoint_triangles(int count) {
+  std::vector<Edge> edges;
+  for (int t = 0; t < count; ++t) {
+    const NodeId base = static_cast<NodeId>(3 * t);
+    edges.push_back({base, static_cast<NodeId>(base + 1), 1.0});
+    edges.push_back({static_cast<NodeId>(base + 1),
+                     static_cast<NodeId>(base + 2), 1.0});
+    edges.push_back({base, static_cast<NodeId>(base + 2), 1.0});
+  }
+  return Graph::from_edges(static_cast<NodeId>(3 * count), std::move(edges));
+}
+
+Graph make_family(int family, std::uint64_t seed) {
+  switch (family) {
+    case 0:
+      return gen::gnp(60, 0.04, seed);            // sparse random
+    case 1:
+      return gen::gnp(40, 0.4, seed);             // dense random
+    case 2:
+      return gen::cycle(41);                      // odd cycle
+    case 3:
+      return gen::path(50);                       // deep augmenting paths
+    case 4:
+      return star(30);                            // hub contention
+    case 5:
+      return gen::barabasi_albert(60, 2, seed);   // heavy-tailed
+    case 6:
+      return disjoint_triangles(12);              // disconnected + odd
+    case 7:
+      return gen::grid(6, 9);                     // bipartite structure
+    case 8:
+      return gen::complete(24);                   // clique
+    default:
+      return gen::random_tree(45, seed);          // tree
+  }
+}
+
+class TortureParam : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TortureParam, GeneralMcmInvariants) {
+  const auto [family, seed] = GetParam();
+  const Graph g = make_family(family, static_cast<std::uint64_t>(seed));
+  GeneralMcmOptions options;
+  options.k = 3;
+  options.seed = static_cast<std::uint64_t>(seed) + 1000;
+  const GeneralMcmResult result = general_mcm(g, options);
+  ASSERT_TRUE(result.matching.is_valid(g));
+  const std::size_t opt = blossom_mcm(g).size();
+  EXPECT_GE(3.0 * static_cast<double>(result.matching.size()) + 1e-9,
+            2.0 * static_cast<double>(opt))
+      << "family " << family;
+  EXPECT_LE(result.matching.size(), opt);
+}
+
+TEST_P(TortureParam, IsraeliItaiInvariants) {
+  const auto [family, seed] = GetParam();
+  const Graph g = make_family(family, static_cast<std::uint64_t>(seed));
+  const auto result =
+      maximal_matching(g, static_cast<std::uint64_t>(seed) + 2000);
+  ASSERT_TRUE(result.matching.is_valid(g));
+  EXPECT_TRUE(result.matching.is_maximal(g));
+  EXPECT_GE(2 * result.matching.size(), blossom_mcm(g).size());
+  EXPECT_LE(result.stats.max_message_bits, 2u);
+}
+
+TEST_P(TortureParam, WeightedInvariants) {
+  const auto [family, seed] = GetParam();
+  const Graph g = gen::with_exponential_weights(
+      make_family(family, static_cast<std::uint64_t>(seed)), 100.0,
+      static_cast<std::uint64_t>(seed) + 3000);
+  if (g.edge_count() == 0) return;
+  HalfMwmOptions options;
+  options.epsilon = 0.1;
+  options.seed = static_cast<std::uint64_t>(seed) + 4000;
+  const HalfMwmResult result = approx_mwm(g, options);
+  ASSERT_TRUE(result.matching.is_valid(g));
+  // Certificate bound: w(M*) <= 2 w(greedy).
+  const double opt_upper = 2.0 * greedy_mwm(g).weight(g);
+  EXPECT_GE(result.matching.weight(g) + 1e-9, (0.5 - 0.1) * opt_upper / 2.0)
+      << "family " << family;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, TortureParam,
+                         ::testing::Combine(::testing::Range(0, 10),
+                                            ::testing::Values(1, 2)));
+
+TEST(Torture, BipartiteFamiliesAgainstExactWeighted) {
+  for (int shape = 0; shape < 4; ++shape) {
+    Graph base = shape == 0   ? gen::bipartite_gnp(20, 20, 0.2, 7)
+                 : shape == 1 ? gen::complete_bipartite(12, 18)
+                 : shape == 2 ? gen::grid(5, 8)
+                              : gen::random_tree(35, 8);
+    const Graph g = gen::with_uniform_weights(base, 1.0, 40.0,
+                                              static_cast<std::uint64_t>(shape));
+    HalfMwmOptions options;
+    options.epsilon = 0.05;
+    options.seed = static_cast<std::uint64_t>(shape) + 5000;
+    const HalfMwmResult result = approx_mwm(g, options);
+    const double opt = hungarian_mwm(g).weight(g);
+    EXPECT_GE(result.matching.weight(g) + 1e-9, (0.5 - 0.05) * opt)
+        << "shape " << shape;
+  }
+}
+
+TEST(Torture, RepeatedRunsNeverCorruptState) {
+  // Run many different protocols over the same network object in sequence;
+  // the registers must stay a consistent matching throughout.
+  const Graph g = gen::gnp(40, 0.15, 9);
+  congest::Network net(g, congest::Model::kCongest, 10);
+  const auto side_or = g.bipartition();
+  for (int round = 0; round < 5; ++round) {
+    israeli_itai(net);
+    EXPECT_TRUE(net.extract_matching().is_valid(g));
+    if (side_or.has_value()) {
+      run_phase(net, *side_or, 3, PhaseOptions{});
+      EXPECT_TRUE(net.extract_matching().is_valid(g));
+    }
+    net.set_matching(Matching(g.node_count()));
+  }
+}
+
+TEST(Torture, ExtremeWeightScales) {
+  // 12 orders of magnitude of weight must not break the class machinery.
+  std::vector<Edge> edges;
+  for (NodeId v = 0; v + 1 < 20; ++v) {
+    edges.push_back({v, static_cast<NodeId>(v + 1),
+                     std::pow(10.0, (v % 13) - 6.0)});
+  }
+  const Graph g = Graph::from_edges(20, std::move(edges));
+  HalfMwmOptions options;
+  options.epsilon = 0.1;
+  options.seed = 11;
+  const HalfMwmResult result = approx_mwm(g, options);
+  EXPECT_TRUE(result.matching.is_valid(g));
+  EXPECT_GT(result.matching.weight(g), 0.0);
+}
+
+}  // namespace
+}  // namespace dmatch

@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/api.hpp"
+#include "graph/exact_small.hpp"
+#include "graph/generators.hpp"
+#include "graph/hungarian.hpp"
+#include "graph/seq_matching.hpp"
+
+namespace dmatch {
+namespace {
+
+// ------------------------------------------------------------- wrap & gain
+
+TEST(WrapGain, WrapShapes) {
+  // Path 0-1-2-3 with weights and 1-2 matched.
+  const Graph g =
+      Graph::from_edges(4, {{0, 1, 5.0}, {1, 2, 2.0}, {2, 3, 4.0}});
+  Matching m(4);
+  m.add(g, 1);
+  // wrap(0-1): both endpoints' matched edges... node 0 free, node 1 matched.
+  const auto w01 = wrap(g, m, 0);
+  EXPECT_EQ(w01, (std::vector<EdgeId>{0, 1}));
+  const auto w23 = wrap(g, m, 2);
+  EXPECT_EQ(w23, (std::vector<EdgeId>{1, 2}));
+}
+
+TEST(WrapGain, WrapOfIsolatedEdgeIsItself) {
+  const Graph g = Graph::from_edges(2, {{0, 1, 3.0}});
+  const Matching m(2);
+  EXPECT_EQ(wrap(g, m, 0), (std::vector<EdgeId>{0}));
+}
+
+TEST(WrapGain, WrapRejectsMatchedEdge) {
+  const Graph g = Graph::from_edges(2, {{0, 1, 3.0}});
+  Matching m(2);
+  m.add(g, 0);
+  EXPECT_THROW(wrap(g, m, 0), ContractViolation);
+}
+
+TEST(WrapGain, GainValues) {
+  const Graph g =
+      Graph::from_edges(4, {{0, 1, 5.0}, {1, 2, 2.0}, {2, 3, 4.0}});
+  Matching m(4);
+  m.add(g, 1);
+  const auto gains = gain_weights(g, m);
+  EXPECT_DOUBLE_EQ(gains[0], 5.0 - 2.0);
+  EXPECT_DOUBLE_EQ(gains[1], 0.0);  // matched edge
+  EXPECT_DOUBLE_EQ(gains[2], 4.0 - 2.0);
+}
+
+TEST(WrapGain, ZeroGainSeriesExample) {
+  // The paper's closing note: three unit-weight edges in series with the
+  // middle edge matched has all gains 0 -- Algorithm 5 cannot improve it.
+  const Graph g =
+      Graph::from_edges(4, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}});
+  Matching m(4);
+  m.add(g, 1);
+  const auto gains = gain_weights(g, m);
+  EXPECT_DOUBLE_EQ(gains[0], 0.0);
+  EXPECT_DOUBLE_EQ(gains[2], 0.0);
+}
+
+TEST(WrapGain, Figure3StyleExample) {
+  // A figure-3-like instance: M' edges whose wraps overlap at an M edge.
+  //   a - b matched (weight 3), plus M' candidates (x,a) w=6 and (b,y) w=8.
+  const Graph g = Graph::from_edges(
+      4, {{0, 1, 3.0},    // a-b in M
+          {2, 0, 6.0},    // x-a
+          {1, 3, 8.0}});  // b-y
+  Matching m(4);
+  m.add(g, 0);
+  const auto gains = gain_weights(g, m);
+  EXPECT_DOUBLE_EQ(gains[1], 3.0);  // 6 - 3
+  EXPECT_DOUBLE_EQ(gains[2], 5.0);  // 8 - 3
+  // Applying both wraps: M'' = {x-a, b-y}, weight 14 >= 3 + 3 + 5 = 11.
+  const Matching m2 = apply_wraps(g, m, std::vector<EdgeId>{1, 2});
+  EXPECT_TRUE(m2.is_valid(g));
+  EXPECT_DOUBLE_EQ(m2.weight(g), 14.0);
+  EXPECT_GE(m2.weight(g), m.weight(g) + gains[1] + gains[2]);
+}
+
+class Lemma41Property
+    : public ::testing::TestWithParam<std::tuple<int, double, int>> {};
+
+TEST_P(Lemma41Property, WrapApplicationIsMatchingAndGainsAdd) {
+  const auto [n, p, seed] = GetParam();
+  const Graph g = gen::with_uniform_weights(
+      gen::gnp(n, p, static_cast<std::uint64_t>(seed)), 1.0, 10.0,
+      static_cast<std::uint64_t>(seed) + 9);
+  // M: a greedy matching; M': a matching among positive-gain edges.
+  const Matching m = greedy_mwm(g);
+  const auto gains = gain_weights(g, m);
+  Matching m_prime(g.node_count());
+  std::vector<EdgeId> m_prime_edges;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (gains[static_cast<std::size_t>(e)] <= 0) continue;
+    const Edge& ed = g.edge(e);
+    if (m_prime.is_free(ed.u) && m_prime.is_free(ed.v)) {
+      m_prime.add(g, e);
+      m_prime_edges.push_back(e);
+    }
+  }
+  const Matching m2 = apply_wraps(g, m, m_prime_edges);
+  EXPECT_TRUE(m2.is_valid(g));
+  double gain_sum = 0;
+  for (EdgeId e : m_prime_edges) {
+    gain_sum += gains[static_cast<std::size_t>(e)];
+  }
+  EXPECT_GE(m2.weight(g) + 1e-9, m.weight(g) + gain_sum);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Lemma41Property,
+    ::testing::Combine(::testing::Values(12, 30, 80),
+                       ::testing::Values(0.1, 0.3),
+                       ::testing::Values(1, 2, 3, 4)));
+
+// --------------------------------------------------------- delta black box
+
+class DeltaBoxParam
+    : public ::testing::TestWithParam<std::tuple<int, double, int>> {};
+
+TEST_P(DeltaBoxParam, ClassGreedyMeetsItsGuarantee) {
+  const auto [n, p, seed] = GetParam();
+  const Graph g = gen::with_exponential_weights(
+      gen::gnp(n, p, static_cast<std::uint64_t>(seed)), 100.0,
+      static_cast<std::uint64_t>(seed) + 4);
+  if (g.edge_count() == 0) return;
+  DeltaMwmOptions options;
+  options.seed = static_cast<std::uint64_t>(seed);
+  const DeltaMwmResult result = class_greedy_mwm(g, options);
+  EXPECT_TRUE(result.matching.is_valid(g));
+  const double opt = exact_mwm_value(g);
+  EXPECT_GE(result.matching.weight(g) + 1e-9,
+            result.delta_guarantee * opt);
+}
+
+TEST_P(DeltaBoxParam, LocallyDominantMeetsHalf) {
+  const auto [n, p, seed] = GetParam();
+  const Graph g = gen::with_uniform_weights(
+      gen::gnp(n, p, static_cast<std::uint64_t>(seed)), 1.0, 50.0,
+      static_cast<std::uint64_t>(seed) + 5);
+  if (g.edge_count() == 0) return;
+  DeltaMwmOptions options;
+  options.seed = static_cast<std::uint64_t>(seed);
+  const DeltaMwmResult result = locally_dominant_mwm(g, options);
+  EXPECT_TRUE(result.matching.is_valid(g));
+  const double opt = exact_mwm_value(g);
+  EXPECT_GE(result.matching.weight(g) + 1e-9, 0.5 * opt);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DeltaBoxParam,
+    ::testing::Combine(::testing::Values(8, 12, 18),
+                       ::testing::Values(0.2, 0.5),
+                       ::testing::Values(1, 2, 3, 4)));
+
+TEST(DeltaBox, LocallyDominantIsGreedyOnDistinctWeights) {
+  // With all-distinct weights the locally-dominant matching is exactly the
+  // sequential greedy matching.
+  const Graph g = gen::with_uniform_weights(gen::gnp(30, 0.2, 6), 1.0, 99.0,
+                                            66);
+  DeltaMwmOptions options;
+  options.seed = 1;
+  const DeltaMwmResult result = locally_dominant_mwm(g, options);
+  EXPECT_TRUE(result.matching == greedy_mwm(g));
+}
+
+TEST(DeltaBox, ClassGreedyHandlesHugeWeightRange) {
+  const Graph g = gen::with_exponential_weights(gen::gnp(40, 0.15, 7),
+                                                1e6, 8);
+  DeltaMwmOptions options;
+  options.seed = 2;
+  const DeltaMwmResult result = class_greedy_mwm(g, options);
+  EXPECT_TRUE(result.matching.is_valid(g));
+  // 2 * greedy weight certifies OPT from above.
+  const double opt_upper = 2.0 * greedy_mwm(g).weight(g);
+  EXPECT_GE(result.matching.weight(g) * (1.0 / result.delta_guarantee) + 1e-6,
+            result.matching.weight(g));
+  EXPECT_LE(result.matching.weight(g), opt_upper + 1e-6);
+}
+
+TEST(DeltaBox, RejectsNonPositiveWeights) {
+  const Graph g = Graph::from_edges(2, {{0, 1, 0.0}});
+  EXPECT_THROW(class_greedy_mwm(g), ContractViolation);
+  EXPECT_THROW(locally_dominant_mwm(g), ContractViolation);
+}
+
+// ------------------------------------------------------------- Algorithm 5
+
+TEST(HalfMwm, IterationBudgetFormula) {
+  // (3 / (2 * 0.25)) * ln(2 / 0.1) = 6 * 3.0 = 17.97 -> 18.
+  EXPECT_EQ(half_mwm_iteration_budget(0.25, 0.1), 18);
+  EXPECT_EQ(half_mwm_iteration_budget(0.5, 0.1), 9);
+  EXPECT_GT(half_mwm_iteration_budget(0.25, 0.01),
+            half_mwm_iteration_budget(0.25, 0.1));
+}
+
+class HalfMwmSmall
+    : public ::testing::TestWithParam<std::tuple<int, double, int, int>> {};
+
+TEST_P(HalfMwmSmall, MeetsHalfMinusEpsOnGeneralGraphs) {
+  const auto [n, p, seed, box] = GetParam();
+  const Graph g = gen::with_uniform_weights(
+      gen::gnp(n, p, static_cast<std::uint64_t>(seed)), 1.0, 20.0,
+      static_cast<std::uint64_t>(seed) + 31);
+  if (g.edge_count() == 0) return;
+  HalfMwmOptions options;
+  options.epsilon = 0.05;
+  options.black_box = box == 0 ? HalfMwmOptions::BlackBox::kClassGreedy
+                               : HalfMwmOptions::BlackBox::kLocallyDominant;
+  options.seed = static_cast<std::uint64_t>(seed);
+  const HalfMwmResult result = half_mwm(g, options);
+  EXPECT_TRUE(result.matching.is_valid(g));
+  const double opt = exact_mwm_value(g);
+  EXPECT_GE(result.matching.weight(g) + 1e-9, (0.5 - 0.05) * opt)
+      << "n=" << n << " p=" << p << " seed=" << seed << " box=" << box;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HalfMwmSmall,
+    ::testing::Combine(::testing::Values(8, 12, 16),
+                       ::testing::Values(0.25, 0.5),
+                       ::testing::Values(1, 2, 3), ::testing::Values(0, 1)));
+
+TEST(HalfMwm, BipartiteAgainstHungarian) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Graph g = gen::with_uniform_weights(
+        gen::bipartite_gnp(20, 20, 0.2, seed), 1.0, 30.0, seed + 41);
+    if (g.edge_count() == 0) continue;
+    HalfMwmOptions options;
+    options.epsilon = 0.05;
+    options.seed = seed;
+    const HalfMwmResult result = half_mwm(g, options);
+    const double opt = hungarian_mwm(g).weight(g);
+    EXPECT_GE(result.matching.weight(g) + 1e-9, (0.5 - 0.05) * opt)
+        << "seed " << seed;
+  }
+}
+
+TEST(HalfMwm, LargeGraphAgainstGreedyCertificate) {
+  // On graphs too large for the exponential oracle: w(M*) <= 2 w(greedy).
+  const Graph g = gen::with_exponential_weights(gen::gnp(150, 0.05, 9),
+                                                1000.0, 10);
+  HalfMwmOptions options;
+  options.epsilon = 0.1;
+  options.seed = 3;
+  const HalfMwmResult result = half_mwm(g, options);
+  const double opt_upper = 2.0 * greedy_mwm(g).weight(g);
+  EXPECT_GE(result.matching.weight(g) + 1e-6, (0.5 - 0.1) * opt_upper / 2.0);
+}
+
+TEST(HalfMwm, SeriesPathStopsAtHalf) {
+  // Three unit edges in series: once the middle edge is matched, no gain
+  // remains; the algorithm keeps a 1/2-approximate answer (weight 1 vs 2)
+  // or finds the optimum, and never errors.
+  const Graph g =
+      Graph::from_edges(4, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}});
+  HalfMwmOptions options;
+  options.epsilon = 0.05;
+  options.seed = 8;
+  const HalfMwmResult result = half_mwm(g, options);
+  EXPECT_GE(result.matching.weight(g), 1.0 - 1e-9);
+}
+
+TEST(HalfMwm, MonotoneWeightAcrossIterations) {
+  const Graph g = gen::with_uniform_weights(gen::gnp(40, 0.15, 10), 1.0,
+                                            10.0, 11);
+  HalfMwmOptions a;
+  a.epsilon = 0.4;
+  a.seed = 4;
+  HalfMwmOptions b = a;
+  b.epsilon = 0.02;  // more iterations
+  const double wa = half_mwm(g, a).matching.weight(g);
+  const double wb = half_mwm(g, b).matching.weight(g);
+  EXPECT_GE(wb + 1e-9, 0.9 * wa);  // more iterations should not hurt much
+}
+
+TEST(HalfMwm, DeterministicUnderSeed) {
+  const Graph g = gen::with_uniform_weights(gen::gnp(25, 0.2, 12), 1.0, 9.0,
+                                            13);
+  HalfMwmOptions options;
+  options.seed = 77;
+  const HalfMwmResult a = half_mwm(g, options);
+  const HalfMwmResult b = half_mwm(g, options);
+  EXPECT_TRUE(a.matching == b.matching);
+}
+
+TEST(HalfMwm, EmptyGraph) {
+  const Graph g = Graph::from_edges(4, {});
+  const HalfMwmResult result = half_mwm(g, {});
+  EXPECT_EQ(result.matching.size(), 0u);
+}
+
+}  // namespace
+}  // namespace dmatch

@@ -1,0 +1,83 @@
+// Pins the wire formats documented in docs/PROTOCOLS.md: if a protocol's
+// message layout changes, these tests fail and the document must be
+// updated alongside.
+#include <gtest/gtest.h>
+
+#include "congest/network.hpp"
+#include "core/bipartite_mcm.hpp"
+#include "core/delta_mwm.hpp"
+#include "core/half_mwm.hpp"
+#include "core/israeli_itai.hpp"
+#include "graph/generators.hpp"
+#include "mis/luby.hpp"
+
+namespace dmatch {
+namespace {
+
+using congest::Model;
+using congest::Network;
+
+TEST(WireContract, IsraeliItaiMessagesAreTwoBits) {
+  const Graph g = gen::gnp(40, 0.15, 1);
+  Network net(g, Model::kCongest, 2);
+  const auto result = israeli_itai(net);
+  EXPECT_EQ(result.stats.max_message_bits, 2u);
+}
+
+TEST(WireContract, LubyMessagesAreAtMost65Bits) {
+  const Graph g = gen::gnp(40, 0.15, 3);
+  Network net(g, Model::kCongest, 4);
+  const auto result = luby_mis_distributed(net);
+  // DRAW = 1 + 64 bits; JOIN = 1 bit.
+  EXPECT_EQ(result.stats.max_message_bits, 65u);
+}
+
+TEST(WireContract, AugmentIterationMessagesAre130Bits) {
+  const Graph g = gen::bipartite_gnp(20, 20, 0.3, 5);
+  const auto side = *g.bipartition();
+  Network net(g, Model::kCongest, 6);
+  const auto stats = run_augment_iteration(net, side, 3);
+  // COUNT = 2 + 128; TOKEN = 2 + 64 + 64; AUGMENT = 2.
+  EXPECT_EQ(stats.max_message_bits, 130u);
+}
+
+TEST(WireContract, GainExchangeIs64BitsAndDropIsOneBit) {
+  const Graph g = gen::with_uniform_weights(gen::gnp(30, 0.2, 7), 1.0, 9.0,
+                                            8);
+  HalfMwmOptions options;
+  options.epsilon = 0.3;
+  options.black_box = HalfMwmOptions::BlackBox::kLocallyDominant;
+  options.seed = 9;
+  const auto result = half_mwm(g, options);
+  // The largest message in the whole pipeline is the 64-bit weight
+  // broadcast of the gain exchange (box messages are 1-2 bits).
+  EXPECT_EQ(result.stats.max_message_bits, 64u);
+}
+
+TEST(WireContract, DominantBoxMessagesAreOneBit) {
+  const Graph g = gen::with_uniform_weights(gen::gnp(30, 0.2, 10), 1.0, 9.0,
+                                            11);
+  const auto result = locally_dominant_mwm(g, {});
+  EXPECT_EQ(result.stats.max_message_bits, 1u);
+}
+
+TEST(WireContract, TotalBitsAreConsistentWithCounts) {
+  // total_bits must equal messages * 2 for the 2-bit II protocol.
+  const Graph g = gen::gnp(50, 0.1, 12);
+  Network net(g, Model::kCongest, 13);
+  const auto result = israeli_itai(net);
+  EXPECT_EQ(result.stats.total_bits, 2 * result.stats.messages);
+}
+
+TEST(WireContract, AllCongestMessagesFitFortyEightLogN) {
+  // The default cap with factor 48 must accommodate every CONGEST
+  // protocol at the smallest supported scale (cap floor = 48 * 4 bits).
+  const Graph g = gen::bipartite_gnp(4, 4, 0.9, 14);
+  const auto side = *g.bipartition();
+  Network net(g, Model::kCongest, 15);
+  EXPECT_GE(net.message_cap_bits(), 192u);
+  EXPECT_NO_THROW(run_augment_iteration(net, side, 1));
+}
+
+}  // namespace
+}  // namespace dmatch

@@ -1,0 +1,219 @@
+// Command-line front end: run any of the library's matchers on an
+// edge-list file or a generated instance.
+//
+// Usage:
+//   dmatch_cli <command> [--key value ...]
+//
+// Commands:
+//   maximal        Israeli-Itai maximal matching (1/2-MCM baseline)
+//   mcm-bipartite  Theorem 3.10 (requires a bipartite input)
+//   mcm-general    Theorem 3.15
+//   mwm            Theorem 4.5 ((1/2 - eps)-MWM)
+//   mwm-local      Section 4 remark ((1 - eps)-MWM, LOCAL model)
+//   exact          centralized optimum (Hopcroft-Karp / Blossom / Hungarian)
+//   generate       emit a generated instance as an edge list
+//
+// Options:
+//   --input FILE     read the graph from FILE ("-" = stdin)
+//   --gen SPEC       generate instead: gnp:N,P | bip:NX,NY,P | cycle:N |
+//                    tree:N | ba:N,M  (combine with --weights LO,HI)
+//   --weights LO,HI  overlay uniform random weights
+//   --seed S         randomness seed (default 1)
+//   --k K            approximation parameter for mcm-* (default 5 / 3)
+//   --epsilon E      approximation parameter for mwm* (default 0.1)
+//   --dot FILE       also write a Graphviz rendering with the matching
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "core/api.hpp"
+#include "graph/blossom.hpp"
+#include "graph/generators.hpp"
+#include "graph/hopcroft_karp.hpp"
+#include "graph/hungarian.hpp"
+#include "graph/io.hpp"
+
+using namespace dmatch;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback = "") const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+};
+
+std::optional<Args> parse(int argc, char** argv) {
+  if (argc < 2) return std::nullopt;
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) return std::nullopt;
+    args.options[key.substr(2)] = argv[i + 1];
+  }
+  return args;
+}
+
+Graph load_graph(const Args& args) {
+  const std::uint64_t seed = std::stoull(args.get("seed", "1"));
+  Graph g;
+  if (const std::string spec = args.get("gen"); !spec.empty()) {
+    const auto colon = spec.find(':');
+    DMATCH_EXPECTS(colon != std::string::npos);
+    const std::string kind = spec.substr(0, colon);
+    std::vector<double> params;
+    std::stringstream ss(spec.substr(colon + 1));
+    for (std::string item; std::getline(ss, item, ',');) {
+      params.push_back(std::stod(item));
+    }
+    if (kind == "gnp") {
+      DMATCH_EXPECTS(params.size() == 2);
+      g = gen::gnp(static_cast<NodeId>(params[0]), params[1], seed);
+    } else if (kind == "bip") {
+      DMATCH_EXPECTS(params.size() == 3);
+      g = gen::bipartite_gnp(static_cast<NodeId>(params[0]),
+                             static_cast<NodeId>(params[1]), params[2], seed);
+    } else if (kind == "cycle") {
+      DMATCH_EXPECTS(params.size() == 1);
+      g = gen::cycle(static_cast<NodeId>(params[0]));
+    } else if (kind == "tree") {
+      DMATCH_EXPECTS(params.size() == 1);
+      g = gen::random_tree(static_cast<NodeId>(params[0]), seed);
+    } else if (kind == "ba") {
+      DMATCH_EXPECTS(params.size() == 2);
+      g = gen::barabasi_albert(static_cast<NodeId>(params[0]),
+                               static_cast<int>(params[1]), seed);
+    } else {
+      DMATCH_EXPECTS(!"unknown generator spec");
+    }
+  } else {
+    const std::string path = args.get("input");
+    DMATCH_EXPECTS(!path.empty());
+    if (path == "-") {
+      g = read_edge_list(std::cin);
+    } else {
+      std::ifstream in(path);
+      DMATCH_EXPECTS(in.good());
+      g = read_edge_list(in);
+    }
+  }
+  if (const std::string w = args.get("weights"); !w.empty()) {
+    const auto comma = w.find(',');
+    DMATCH_EXPECTS(comma != std::string::npos);
+    g = gen::with_uniform_weights(g, std::stod(w.substr(0, comma)),
+                                  std::stod(w.substr(comma + 1)), seed + 1);
+  }
+  return g;
+}
+
+void report(const Graph& g, const Matching& m, const congest::RunStats* stats,
+            const Args& args) {
+  std::cout << "graph: n=" << g.node_count() << " m=" << g.edge_count()
+            << "\nmatching: size=" << m.size() << " weight=" << m.weight(g)
+            << "\n";
+  if (stats != nullptr) {
+    std::cout << "cost: rounds=" << stats->rounds
+              << " messages=" << stats->messages
+              << " total_bits=" << stats->total_bits
+              << " max_message_bits=" << stats->max_message_bits << "\n";
+  }
+  std::cout << "edges:";
+  for (EdgeId e : m.edges(g)) {
+    std::cout << ' ' << g.edge(e).u << '-' << g.edge(e).v;
+  }
+  std::cout << "\n";
+  if (const std::string dot = args.get("dot"); !dot.empty()) {
+    std::ofstream out(dot);
+    out << to_dot(g, &m);
+    std::cout << "wrote " << dot << "\n";
+  }
+}
+
+int run(const Args& args) {
+  const std::uint64_t seed = std::stoull(args.get("seed", "1"));
+
+  if (args.command == "generate") {
+    const Graph g = load_graph(args);
+    write_edge_list(std::cout, g);
+    return 0;
+  }
+
+  const Graph g = load_graph(args);
+  if (args.command == "maximal") {
+    const auto result = maximal_matching(g, seed);
+    report(g, result.matching, &result.stats, args);
+  } else if (args.command == "mcm-bipartite") {
+    BipartiteMcmOptions options;
+    options.k = std::stoi(args.get("k", "5"));
+    const auto result = approx_mcm_bipartite(g, seed, options);
+    report(g, result.matching, &result.stats, args);
+  } else if (args.command == "mcm-general") {
+    GeneralMcmOptions options;
+    options.k = std::stoi(args.get("k", "3"));
+    options.seed = seed;
+    const auto result = approx_mcm_general(g, options);
+    report(g, result.matching, &result.stats, args);
+  } else if (args.command == "mwm") {
+    HalfMwmOptions options;
+    options.epsilon = std::stod(args.get("epsilon", "0.1"));
+    options.seed = seed;
+    const auto result = approx_mwm(g, options);
+    report(g, result.matching, &result.stats, args);
+  } else if (args.command == "mwm-local") {
+    LocalMwmOptions options;
+    options.epsilon = std::stod(args.get("epsilon", "0.34"));
+    options.seed = seed;
+    const auto result = local_one_minus_eps_mwm(g, options);
+    report(g, result.matching, &result.stats, args);
+  } else if (args.command == "exact") {
+    const auto side = g.bipartition();
+    bool weighted = false;
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      weighted = weighted || g.weight(e) != 1.0;
+    }
+    Matching m;
+    if (side.has_value() && weighted) {
+      m = hungarian_mwm(g, *side);
+    } else if (side.has_value()) {
+      m = hopcroft_karp(g, *side);
+    } else {
+      DMATCH_EXPECTS(!weighted);  // exact general MWM is not provided
+      m = blossom_mcm(g);
+    }
+    report(g, m, nullptr, args);
+  } else {
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = parse(argc, argv);
+  if (!args.has_value()) {
+    std::cerr << "usage: dmatch_cli <maximal|mcm-bipartite|mcm-general|mwm|"
+                 "mwm-local|exact|generate> [--key value ...]\n"
+                 "see the header of tools/dmatch_cli.cpp for details\n";
+    return 2;
+  }
+  try {
+    const int code = run(*args);
+    if (code == 2) {
+      std::cerr << "unknown command: " << args->command << "\n";
+    }
+    return code;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

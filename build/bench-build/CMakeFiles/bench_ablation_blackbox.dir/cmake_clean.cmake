@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_blackbox"
+  "../bench/bench_ablation_blackbox.pdb"
+  "CMakeFiles/bench_ablation_blackbox.dir/bench_ablation_blackbox.cpp.o"
+  "CMakeFiles/bench_ablation_blackbox.dir/bench_ablation_blackbox.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_blackbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

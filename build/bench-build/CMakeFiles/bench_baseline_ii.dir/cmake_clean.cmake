@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_baseline_ii"
+  "../bench/bench_baseline_ii.pdb"
+  "CMakeFiles/bench_baseline_ii.dir/bench_baseline_ii.cpp.o"
+  "CMakeFiles/bench_baseline_ii.dir/bench_baseline_ii.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_ii.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_bipartite_ratio"
+  "../bench/bench_bipartite_ratio.pdb"
+  "CMakeFiles/bench_bipartite_ratio.dir/bench_bipartite_ratio.cpp.o"
+  "CMakeFiles/bench_bipartite_ratio.dir/bench_bipartite_ratio.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bipartite_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_bipartite_rounds"
+  "../bench/bench_bipartite_rounds.pdb"
+  "CMakeFiles/bench_bipartite_rounds.dir/bench_bipartite_rounds.cpp.o"
+  "CMakeFiles/bench_bipartite_rounds.dir/bench_bipartite_rounds.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bipartite_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

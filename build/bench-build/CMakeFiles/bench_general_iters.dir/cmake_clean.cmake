@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_general_iters"
+  "../bench/bench_general_iters.pdb"
+  "CMakeFiles/bench_general_iters.dir/bench_general_iters.cpp.o"
+  "CMakeFiles/bench_general_iters.dir/bench_general_iters.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_general_iters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

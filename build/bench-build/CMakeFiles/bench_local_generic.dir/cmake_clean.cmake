@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_local_generic"
+  "../bench/bench_local_generic.pdb"
+  "CMakeFiles/bench_local_generic.dir/bench_local_generic.cpp.o"
+  "CMakeFiles/bench_local_generic.dir/bench_local_generic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_local_generic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_local_mwm"
+  "../bench/bench_local_mwm.pdb"
+  "CMakeFiles/bench_local_mwm.dir/bench_local_mwm.cpp.o"
+  "CMakeFiles/bench_local_mwm.dir/bench_local_mwm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_local_mwm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

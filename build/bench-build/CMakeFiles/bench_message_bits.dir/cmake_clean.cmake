@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_message_bits"
+  "../bench/bench_message_bits.pdb"
+  "CMakeFiles/bench_message_bits.dir/bench_message_bits.cpp.o"
+  "CMakeFiles/bench_message_bits.dir/bench_message_bits.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_message_bits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_switch"
+  "../bench/bench_switch.pdb"
+  "CMakeFiles/bench_switch.dir/bench_switch.cpp.o"
+  "CMakeFiles/bench_switch.dir/bench_switch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

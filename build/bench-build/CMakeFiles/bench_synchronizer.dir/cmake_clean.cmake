@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_synchronizer"
+  "../bench/bench_synchronizer.pdb"
+  "CMakeFiles/bench_synchronizer.dir/bench_synchronizer.cpp.o"
+  "CMakeFiles/bench_synchronizer.dir/bench_synchronizer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_synchronizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

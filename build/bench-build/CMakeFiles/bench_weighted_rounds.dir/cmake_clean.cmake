@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_weighted_rounds"
+  "../bench/bench_weighted_rounds.pdb"
+  "CMakeFiles/bench_weighted_rounds.dir/bench_weighted_rounds.cpp.o"
+  "CMakeFiles/bench_weighted_rounds.dir/bench_weighted_rounds.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_weighted_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

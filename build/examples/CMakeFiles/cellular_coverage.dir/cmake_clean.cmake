@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellular_coverage.dir/cellular_coverage.cpp.o"
+  "CMakeFiles/cellular_coverage.dir/cellular_coverage.cpp.o.d"
+  "cellular_coverage"
+  "cellular_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellular_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/job_assignment.dir/job_assignment.cpp.o"
+  "CMakeFiles/job_assignment.dir/job_assignment.cpp.o.d"
+  "job_assignment"
+  "job_assignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/job_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

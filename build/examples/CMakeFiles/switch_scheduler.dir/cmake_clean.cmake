@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switch_scheduler.dir/switch_scheduler.cpp.o"
+  "CMakeFiles/switch_scheduler.dir/switch_scheduler.cpp.o.d"
+  "switch_scheduler"
+  "switch_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switch_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/congest/async.cpp" "src/CMakeFiles/dmatch_congest.dir/congest/async.cpp.o" "gcc" "src/CMakeFiles/dmatch_congest.dir/congest/async.cpp.o.d"
+  "/root/repo/src/congest/message.cpp" "src/CMakeFiles/dmatch_congest.dir/congest/message.cpp.o" "gcc" "src/CMakeFiles/dmatch_congest.dir/congest/message.cpp.o.d"
+  "/root/repo/src/congest/network.cpp" "src/CMakeFiles/dmatch_congest.dir/congest/network.cpp.o" "gcc" "src/CMakeFiles/dmatch_congest.dir/congest/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dmatch_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dmatch_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

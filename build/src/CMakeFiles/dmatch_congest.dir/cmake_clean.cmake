@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmatch_congest.dir/congest/async.cpp.o"
+  "CMakeFiles/dmatch_congest.dir/congest/async.cpp.o.d"
+  "CMakeFiles/dmatch_congest.dir/congest/message.cpp.o"
+  "CMakeFiles/dmatch_congest.dir/congest/message.cpp.o.d"
+  "CMakeFiles/dmatch_congest.dir/congest/network.cpp.o"
+  "CMakeFiles/dmatch_congest.dir/congest/network.cpp.o.d"
+  "libdmatch_congest.a"
+  "libdmatch_congest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmatch_congest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/b_matching.cpp" "src/CMakeFiles/dmatch_core.dir/core/b_matching.cpp.o" "gcc" "src/CMakeFiles/dmatch_core.dir/core/b_matching.cpp.o.d"
+  "/root/repo/src/core/bipartite_mcm.cpp" "src/CMakeFiles/dmatch_core.dir/core/bipartite_mcm.cpp.o" "gcc" "src/CMakeFiles/dmatch_core.dir/core/bipartite_mcm.cpp.o.d"
+  "/root/repo/src/core/delta_mwm.cpp" "src/CMakeFiles/dmatch_core.dir/core/delta_mwm.cpp.o" "gcc" "src/CMakeFiles/dmatch_core.dir/core/delta_mwm.cpp.o.d"
+  "/root/repo/src/core/general_mcm.cpp" "src/CMakeFiles/dmatch_core.dir/core/general_mcm.cpp.o" "gcc" "src/CMakeFiles/dmatch_core.dir/core/general_mcm.cpp.o.d"
+  "/root/repo/src/core/half_mwm.cpp" "src/CMakeFiles/dmatch_core.dir/core/half_mwm.cpp.o" "gcc" "src/CMakeFiles/dmatch_core.dir/core/half_mwm.cpp.o.d"
+  "/root/repo/src/core/israeli_itai.cpp" "src/CMakeFiles/dmatch_core.dir/core/israeli_itai.cpp.o" "gcc" "src/CMakeFiles/dmatch_core.dir/core/israeli_itai.cpp.o.d"
+  "/root/repo/src/core/local_generic_mcm.cpp" "src/CMakeFiles/dmatch_core.dir/core/local_generic_mcm.cpp.o" "gcc" "src/CMakeFiles/dmatch_core.dir/core/local_generic_mcm.cpp.o.d"
+  "/root/repo/src/core/local_mwm.cpp" "src/CMakeFiles/dmatch_core.dir/core/local_mwm.cpp.o" "gcc" "src/CMakeFiles/dmatch_core.dir/core/local_mwm.cpp.o.d"
+  "/root/repo/src/core/wrap_gain.cpp" "src/CMakeFiles/dmatch_core.dir/core/wrap_gain.cpp.o" "gcc" "src/CMakeFiles/dmatch_core.dir/core/wrap_gain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dmatch_congest.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dmatch_mis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dmatch_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dmatch_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmatch_core.dir/core/b_matching.cpp.o"
+  "CMakeFiles/dmatch_core.dir/core/b_matching.cpp.o.d"
+  "CMakeFiles/dmatch_core.dir/core/bipartite_mcm.cpp.o"
+  "CMakeFiles/dmatch_core.dir/core/bipartite_mcm.cpp.o.d"
+  "CMakeFiles/dmatch_core.dir/core/delta_mwm.cpp.o"
+  "CMakeFiles/dmatch_core.dir/core/delta_mwm.cpp.o.d"
+  "CMakeFiles/dmatch_core.dir/core/general_mcm.cpp.o"
+  "CMakeFiles/dmatch_core.dir/core/general_mcm.cpp.o.d"
+  "CMakeFiles/dmatch_core.dir/core/half_mwm.cpp.o"
+  "CMakeFiles/dmatch_core.dir/core/half_mwm.cpp.o.d"
+  "CMakeFiles/dmatch_core.dir/core/israeli_itai.cpp.o"
+  "CMakeFiles/dmatch_core.dir/core/israeli_itai.cpp.o.d"
+  "CMakeFiles/dmatch_core.dir/core/local_generic_mcm.cpp.o"
+  "CMakeFiles/dmatch_core.dir/core/local_generic_mcm.cpp.o.d"
+  "CMakeFiles/dmatch_core.dir/core/local_mwm.cpp.o"
+  "CMakeFiles/dmatch_core.dir/core/local_mwm.cpp.o.d"
+  "CMakeFiles/dmatch_core.dir/core/wrap_gain.cpp.o"
+  "CMakeFiles/dmatch_core.dir/core/wrap_gain.cpp.o.d"
+  "libdmatch_core.a"
+  "libdmatch_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmatch_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

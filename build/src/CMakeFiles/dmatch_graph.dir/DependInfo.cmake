@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/augmenting.cpp" "src/CMakeFiles/dmatch_graph.dir/graph/augmenting.cpp.o" "gcc" "src/CMakeFiles/dmatch_graph.dir/graph/augmenting.cpp.o.d"
+  "/root/repo/src/graph/blossom.cpp" "src/CMakeFiles/dmatch_graph.dir/graph/blossom.cpp.o" "gcc" "src/CMakeFiles/dmatch_graph.dir/graph/blossom.cpp.o.d"
+  "/root/repo/src/graph/exact_small.cpp" "src/CMakeFiles/dmatch_graph.dir/graph/exact_small.cpp.o" "gcc" "src/CMakeFiles/dmatch_graph.dir/graph/exact_small.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/dmatch_graph.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/dmatch_graph.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/dmatch_graph.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/dmatch_graph.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/hopcroft_karp.cpp" "src/CMakeFiles/dmatch_graph.dir/graph/hopcroft_karp.cpp.o" "gcc" "src/CMakeFiles/dmatch_graph.dir/graph/hopcroft_karp.cpp.o.d"
+  "/root/repo/src/graph/hungarian.cpp" "src/CMakeFiles/dmatch_graph.dir/graph/hungarian.cpp.o" "gcc" "src/CMakeFiles/dmatch_graph.dir/graph/hungarian.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/CMakeFiles/dmatch_graph.dir/graph/io.cpp.o" "gcc" "src/CMakeFiles/dmatch_graph.dir/graph/io.cpp.o.d"
+  "/root/repo/src/graph/matching.cpp" "src/CMakeFiles/dmatch_graph.dir/graph/matching.cpp.o" "gcc" "src/CMakeFiles/dmatch_graph.dir/graph/matching.cpp.o.d"
+  "/root/repo/src/graph/seq_matching.cpp" "src/CMakeFiles/dmatch_graph.dir/graph/seq_matching.cpp.o" "gcc" "src/CMakeFiles/dmatch_graph.dir/graph/seq_matching.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dmatch_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

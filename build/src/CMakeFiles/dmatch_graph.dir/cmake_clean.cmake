@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmatch_graph.dir/graph/augmenting.cpp.o"
+  "CMakeFiles/dmatch_graph.dir/graph/augmenting.cpp.o.d"
+  "CMakeFiles/dmatch_graph.dir/graph/blossom.cpp.o"
+  "CMakeFiles/dmatch_graph.dir/graph/blossom.cpp.o.d"
+  "CMakeFiles/dmatch_graph.dir/graph/exact_small.cpp.o"
+  "CMakeFiles/dmatch_graph.dir/graph/exact_small.cpp.o.d"
+  "CMakeFiles/dmatch_graph.dir/graph/generators.cpp.o"
+  "CMakeFiles/dmatch_graph.dir/graph/generators.cpp.o.d"
+  "CMakeFiles/dmatch_graph.dir/graph/graph.cpp.o"
+  "CMakeFiles/dmatch_graph.dir/graph/graph.cpp.o.d"
+  "CMakeFiles/dmatch_graph.dir/graph/hopcroft_karp.cpp.o"
+  "CMakeFiles/dmatch_graph.dir/graph/hopcroft_karp.cpp.o.d"
+  "CMakeFiles/dmatch_graph.dir/graph/hungarian.cpp.o"
+  "CMakeFiles/dmatch_graph.dir/graph/hungarian.cpp.o.d"
+  "CMakeFiles/dmatch_graph.dir/graph/io.cpp.o"
+  "CMakeFiles/dmatch_graph.dir/graph/io.cpp.o.d"
+  "CMakeFiles/dmatch_graph.dir/graph/matching.cpp.o"
+  "CMakeFiles/dmatch_graph.dir/graph/matching.cpp.o.d"
+  "CMakeFiles/dmatch_graph.dir/graph/seq_matching.cpp.o"
+  "CMakeFiles/dmatch_graph.dir/graph/seq_matching.cpp.o.d"
+  "libdmatch_graph.a"
+  "libdmatch_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmatch_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

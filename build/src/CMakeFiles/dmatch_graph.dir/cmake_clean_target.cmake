@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdmatch_graph.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmatch_mis.dir/mis/luby.cpp.o"
+  "CMakeFiles/dmatch_mis.dir/mis/luby.cpp.o.d"
+  "libdmatch_mis.a"
+  "libdmatch_mis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmatch_mis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdmatch_mis.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmatch_support.dir/support/rng.cpp.o"
+  "CMakeFiles/dmatch_support.dir/support/rng.cpp.o.d"
+  "CMakeFiles/dmatch_support.dir/support/table.cpp.o"
+  "CMakeFiles/dmatch_support.dir/support/table.cpp.o.d"
+  "CMakeFiles/dmatch_support.dir/support/wire.cpp.o"
+  "CMakeFiles/dmatch_support.dir/support/wire.cpp.o.d"
+  "libdmatch_support.a"
+  "libdmatch_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmatch_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmatch_switchsim.dir/switchsim/switch_sim.cpp.o"
+  "CMakeFiles/dmatch_switchsim.dir/switchsim/switch_sim.cpp.o.d"
+  "libdmatch_switchsim.a"
+  "libdmatch_switchsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmatch_switchsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

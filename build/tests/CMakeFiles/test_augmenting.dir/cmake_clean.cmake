@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_augmenting.dir/test_augmenting.cpp.o"
+  "CMakeFiles/test_augmenting.dir/test_augmenting.cpp.o.d"
+  "test_augmenting"
+  "test_augmenting.pdb"
+  "test_augmenting[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_augmenting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_b_matching.dir/test_b_matching.cpp.o"
+  "CMakeFiles/test_b_matching.dir/test_b_matching.cpp.o.d"
+  "test_b_matching"
+  "test_b_matching.pdb"
+  "test_b_matching[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_b_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

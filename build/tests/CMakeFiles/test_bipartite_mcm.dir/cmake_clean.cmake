@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bipartite_mcm.dir/test_bipartite_mcm.cpp.o"
+  "CMakeFiles/test_bipartite_mcm.dir/test_bipartite_mcm.cpp.o.d"
+  "test_bipartite_mcm"
+  "test_bipartite_mcm.pdb"
+  "test_bipartite_mcm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bipartite_mcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

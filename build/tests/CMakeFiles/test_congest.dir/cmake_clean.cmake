@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_congest.dir/test_congest.cpp.o"
+  "CMakeFiles/test_congest.dir/test_congest.cpp.o.d"
+  "test_congest"
+  "test_congest.pdb"
+  "test_congest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_congest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

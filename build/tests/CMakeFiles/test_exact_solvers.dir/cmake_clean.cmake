@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exact_solvers.dir/test_exact_solvers.cpp.o"
+  "CMakeFiles/test_exact_solvers.dir/test_exact_solvers.cpp.o.d"
+  "test_exact_solvers"
+  "test_exact_solvers.pdb"
+  "test_exact_solvers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exact_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_general_mcm.dir/test_general_mcm.cpp.o"
+  "CMakeFiles/test_general_mcm.dir/test_general_mcm.cpp.o.d"
+  "test_general_mcm"
+  "test_general_mcm.pdb"
+  "test_general_mcm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_general_mcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

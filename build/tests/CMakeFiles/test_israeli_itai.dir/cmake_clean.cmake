@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_israeli_itai.dir/test_israeli_itai.cpp.o"
+  "CMakeFiles/test_israeli_itai.dir/test_israeli_itai.cpp.o.d"
+  "test_israeli_itai"
+  "test_israeli_itai.pdb"
+  "test_israeli_itai[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_israeli_itai.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_local_generic.dir/test_local_generic.cpp.o"
+  "CMakeFiles/test_local_generic.dir/test_local_generic.cpp.o.d"
+  "test_local_generic"
+  "test_local_generic.pdb"
+  "test_local_generic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_local_generic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

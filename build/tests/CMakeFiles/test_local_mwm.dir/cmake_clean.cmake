@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_local_mwm.dir/test_local_mwm.cpp.o"
+  "CMakeFiles/test_local_mwm.dir/test_local_mwm.cpp.o.d"
+  "test_local_mwm"
+  "test_local_mwm.pdb"
+  "test_local_mwm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_local_mwm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wire_contract.dir/test_wire_contract.cpp.o"
+  "CMakeFiles/test_wire_contract.dir/test_wire_contract.cpp.o.d"
+  "test_wire_contract"
+  "test_wire_contract.pdb"
+  "test_wire_contract[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wire_contract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

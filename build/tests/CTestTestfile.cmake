@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_io[1]_include.cmake")
+include("/root/repo/build/tests/test_matching[1]_include.cmake")
+include("/root/repo/build/tests/test_augmenting[1]_include.cmake")
+include("/root/repo/build/tests/test_exact_solvers[1]_include.cmake")
+include("/root/repo/build/tests/test_congest[1]_include.cmake")
+include("/root/repo/build/tests/test_wire_contract[1]_include.cmake")
+include("/root/repo/build/tests/test_async[1]_include.cmake")
+include("/root/repo/build/tests/test_mis[1]_include.cmake")
+include("/root/repo/build/tests/test_israeli_itai[1]_include.cmake")
+include("/root/repo/build/tests/test_bipartite_mcm[1]_include.cmake")
+include("/root/repo/build/tests/test_counting[1]_include.cmake")
+include("/root/repo/build/tests/test_general_mcm[1]_include.cmake")
+include("/root/repo/build/tests/test_b_matching[1]_include.cmake")
+include("/root/repo/build/tests/test_weighted[1]_include.cmake")
+include("/root/repo/build/tests/test_local_generic[1]_include.cmake")
+include("/root/repo/build/tests/test_local_mwm[1]_include.cmake")
+include("/root/repo/build/tests/test_switchsim[1]_include.cmake")
+include("/root/repo/build/tests/test_differential[1]_include.cmake")
+include("/root/repo/build/tests/test_torture[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmatch_cli.dir/dmatch_cli.cpp.o"
+  "CMakeFiles/dmatch_cli.dir/dmatch_cli.cpp.o.d"
+  "dmatch_cli"
+  "dmatch_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmatch_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

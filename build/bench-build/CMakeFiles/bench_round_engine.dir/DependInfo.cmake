@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_round_engine.cpp" "bench-build/CMakeFiles/bench_round_engine.dir/bench_round_engine.cpp.o" "gcc" "bench-build/CMakeFiles/bench_round_engine.dir/bench_round_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dmatch_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dmatch_switchsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dmatch_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dmatch_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dmatch_mis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dmatch_congest.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_round_engine"
+  "../bench/bench_round_engine.pdb"
+  "CMakeFiles/bench_round_engine.dir/bench_round_engine.cpp.o"
+  "CMakeFiles/bench_round_engine.dir/bench_round_engine.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_round_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -211,12 +211,23 @@ examples/CMakeFiles/cellular_coverage.dir/cellular_coverage.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/congest/process.hpp /usr/include/c++/12/span \
- /usr/include/c++/12/cstddef /root/repo/src/congest/message.hpp \
- /root/repo/src/support/wire.hpp /root/repo/src/support/assert.hpp \
+ /root/repo/src/congest/message.hpp /root/repo/src/support/wire.hpp \
+ /root/repo/src/support/assert.hpp /root/repo/src/congest/process.hpp \
+ /usr/include/c++/12/span /usr/include/c++/12/cstddef \
  /root/repo/src/graph/graph.hpp /usr/include/c++/12/optional \
  /root/repo/src/support/rng.hpp /usr/include/c++/12/limits \
- /root/repo/src/graph/matching.hpp /root/repo/src/core/b_matching.hpp \
+ /root/repo/src/graph/matching.hpp /root/repo/src/support/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/src/core/b_matching.hpp \
  /root/repo/src/core/general_mcm.hpp \
  /root/repo/src/core/bipartite_mcm.hpp /root/repo/src/core/delta_mwm.hpp \
  /root/repo/src/core/half_mwm.hpp /root/repo/src/core/israeli_itai.hpp \

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/support/rng.cpp" "src/CMakeFiles/dmatch_support.dir/support/rng.cpp.o" "gcc" "src/CMakeFiles/dmatch_support.dir/support/rng.cpp.o.d"
   "/root/repo/src/support/table.cpp" "src/CMakeFiles/dmatch_support.dir/support/table.cpp.o" "gcc" "src/CMakeFiles/dmatch_support.dir/support/table.cpp.o.d"
+  "/root/repo/src/support/thread_pool.cpp" "src/CMakeFiles/dmatch_support.dir/support/thread_pool.cpp.o" "gcc" "src/CMakeFiles/dmatch_support.dir/support/thread_pool.cpp.o.d"
   "/root/repo/src/support/wire.cpp" "src/CMakeFiles/dmatch_support.dir/support/wire.cpp.o" "gcc" "src/CMakeFiles/dmatch_support.dir/support/wire.cpp.o.d"
   )
 

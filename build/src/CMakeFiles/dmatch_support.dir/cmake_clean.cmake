@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/dmatch_support.dir/support/rng.cpp.o.d"
   "CMakeFiles/dmatch_support.dir/support/table.cpp.o"
   "CMakeFiles/dmatch_support.dir/support/table.cpp.o.d"
+  "CMakeFiles/dmatch_support.dir/support/thread_pool.cpp.o"
+  "CMakeFiles/dmatch_support.dir/support/thread_pool.cpp.o.d"
   "CMakeFiles/dmatch_support.dir/support/wire.cpp.o"
   "CMakeFiles/dmatch_support.dir/support/wire.cpp.o.d"
   "libdmatch_support.a"

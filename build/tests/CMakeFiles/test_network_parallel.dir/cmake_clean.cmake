@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_network_parallel.dir/test_network_parallel.cpp.o"
+  "CMakeFiles/test_network_parallel.dir/test_network_parallel.cpp.o.d"
+  "test_network_parallel"
+  "test_network_parallel.pdb"
+  "test_network_parallel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_network_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -11,6 +11,7 @@ include("/root/repo/build/tests/test_matching[1]_include.cmake")
 include("/root/repo/build/tests/test_augmenting[1]_include.cmake")
 include("/root/repo/build/tests/test_exact_solvers[1]_include.cmake")
 include("/root/repo/build/tests/test_congest[1]_include.cmake")
+include("/root/repo/build/tests/test_network_parallel[1]_include.cmake")
 include("/root/repo/build/tests/test_wire_contract[1]_include.cmake")
 include("/root/repo/build/tests/test_async[1]_include.cmake")
 include("/root/repo/build/tests/test_mis[1]_include.cmake")

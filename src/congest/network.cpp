@@ -1,6 +1,9 @@
 #include "congest/network.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
 
 #include "support/assert.hpp"
 #include "support/wire.hpp"
@@ -72,15 +75,36 @@ class NodeContext final : public Context {
   RunStats& stats_;
 };
 
+/// Per-shard run state. Everything here has exactly one writer (the
+/// owning worker), so the engine's only synchronization is the two
+/// barriers of the round. Cache-line aligned so neighboring shards'
+/// stats counters don't ping-pong a line.
+struct alignas(64) ShardState {
+  std::vector<NodeId> active;        // nodes to step this round (any order)
+  std::vector<NodeId> next_active;   // being built for the next round
+  RunStats stats;                    // private accumulator, merged at the end
+  std::vector<Envelope> inbox;       // scratch, reused across nodes
+  std::vector<Envelope> outbox;      // scratch, reused across nodes
+  std::exception_ptr error;          // first throw from this shard
+};
+
 }  // namespace
 
 Network::Network(const Graph& g, Model model, std::uint64_t seed,
                  std::uint32_t congest_factor)
+    : Network(g, model, seed, congest_factor, Options()) {}
+
+Network::Network(const Graph& g, Model model, std::uint64_t seed,
+                 std::uint32_t congest_factor, Options options)
     : g_(&g), model_(model) {
   const auto n = static_cast<std::size_t>(g.node_count());
   unsigned log_n = 1;
   while ((NodeId{1} << log_n) < g.node_count()) ++log_n;
   cap_bits_ = congest_factor * std::max(log_n, 4u);
+
+  num_threads_ = options.num_threads != 0
+                     ? options.num_threads
+                     : std::max(1u, std::thread::hardware_concurrency());
 
   Rng root(seed);
   node_rng_.reserve(n);
@@ -88,6 +112,37 @@ Network::Network(const Graph& g, Model model, std::uint64_t seed,
     node_rng_.push_back(root.fork(static_cast<std::uint64_t>(v)));
   }
   mate_port_.assign(n, -1);
+
+  // Cross-endpoint port tables: one lookup per message on the hot path
+  // instead of a Graph::port_of_edge call.
+  slot_offset_.assign(n + 1, 0);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    slot_offset_[static_cast<std::size_t>(v) + 1] =
+        slot_offset_[static_cast<std::size_t>(v)] +
+        static_cast<std::size_t>(g.degree(v));
+  }
+  const std::size_t slots = slot_offset_[n];
+  peer_slot_.resize(slots);
+  peer_node_.resize(slots);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const auto edges = g.incident_edges(v);
+    for (std::size_t p = 0; p < edges.size(); ++p) {
+      const EdgeId e = edges[p];
+      const NodeId u = g.other_endpoint(e, v);
+      const std::size_t i = slot_offset_[static_cast<std::size_t>(v)] + p;
+      peer_node_[i] = u;
+      peer_slot_[i] = static_cast<std::uint32_t>(
+          slot_offset_[static_cast<std::size_t>(u)] +
+          static_cast<std::size_t>(g.port_of_edge(u, e)));
+    }
+  }
+
+  cur_msg_.resize(slots);
+  nxt_msg_.resize(slots);
+  cur_stamp_.assign(slots, 0);
+  nxt_stamp_.assign(slots, 0);
+  pending_mark_.assign(n, 0);
+  rcv_count_.assign(n, 0);
 }
 
 RunStats Network::run(const ProcessFactory& factory, int max_rounds) {
@@ -95,71 +150,173 @@ RunStats Network::run(const ProcessFactory& factory, int max_rounds) {
   const Graph& g = *g_;
   const auto n = static_cast<std::size_t>(g.node_count());
 
+  const unsigned num_shards = num_threads_;
+  if (num_shards > 1 && pool_ == nullptr) {
+    pool_ = std::make_unique<support::ThreadPool>(num_shards);
+  }
+  const NodeId shard_len = static_cast<NodeId>(
+      (g.node_count() + static_cast<NodeId>(num_shards) - 1) /
+      static_cast<NodeId>(num_shards));
+  const auto shard_of = [shard_len](NodeId v) {
+    return shard_len == 0 ? 0u : static_cast<unsigned>(v / shard_len);
+  };
+
+  std::vector<ShardState> shards(num_shards);
+  // Activity lanes: lane(src, dst) carries the ids of nodes in shard dst
+  // that shard src delivered a message to; the payloads themselves go
+  // straight into the port slots. Drained by dst at the routing barrier.
+  std::vector<std::vector<NodeId>> lanes(
+      static_cast<std::size_t>(num_shards) * num_shards);
+  const auto lane = [&](unsigned src, unsigned dst) -> std::vector<NodeId>& {
+    return lanes[static_cast<std::size_t>(src) * num_shards + dst];
+  };
+
   std::vector<std::unique_ptr<Process>> procs;
   procs.reserve(n);
   for (NodeId v = 0; v < g.node_count(); ++v) {
     procs.push_back(factory(v, g));
     DMATCH_ENSURES(procs.back() != nullptr);
+    // A process that starts out halted is never stepped (and, with no
+    // messages in flight yet, cannot be woken) until someone contacts it.
+    if (!procs.back()->halted()) shards[shard_of(v)].active.push_back(v);
   }
 
   RunStats stats;
-  std::vector<std::vector<Envelope>> inbox(n);
-  std::vector<std::vector<Envelope>> next_inbox(n);
-  std::vector<Envelope> outbox;
+  std::atomic<bool> failed{false};
+  std::uint64_t routed_before = 0;
 
-  for (int round = 0; round < max_rounds; ++round) {
-    bool all_quiet = true;
-    for (const auto& box : inbox) {
-      if (!box.empty()) {
-        all_quiet = false;
-        break;
-      }
+  const auto for_each_shard = [&](auto&& fn) {
+    if (num_shards == 1) {
+      fn(0u);
+    } else {
+      pool_->run(fn);
     }
-    if (all_quiet && round > 0) {
-      all_quiet = std::all_of(procs.begin(), procs.end(),
-                              [](const auto& p) { return p->halted(); });
-      if (all_quiet) {
-        stats.completed = true;
-        total_.merge(stats);
-        return stats;
-      }
-    }
+  };
 
-    for (auto& box : next_inbox) box.clear();
-    std::uint64_t round_messages = 0;
-    for (NodeId v = 0; v < g.node_count(); ++v) {
-      const auto vi = static_cast<std::size_t>(v);
-      if (procs[vi]->halted() && inbox[vi].empty()) continue;
-      outbox.clear();
-      NodeContext ctx(g, v, g.node_count(), round, node_rng_[vi],
-                      mate_port_[vi], model_, cap_bits_, outbox, stats);
-      // Deliver in ascending port order for determinism.
-      std::sort(inbox[vi].begin(), inbox[vi].end(),
-                [](const Envelope& a, const Envelope& b) {
-                  return a.port < b.port;
-                });
-      procs[vi]->on_round(ctx, inbox[vi]);
-      for (Envelope& env : outbox) {
-        const EdgeId e =
-            g.incident_edges(v)[static_cast<std::size_t>(env.port)];
-        const NodeId u = g.other_endpoint(e, v);
-        const int their_port = g.port_of_edge(u, e);
-        next_inbox[static_cast<std::size_t>(u)].push_back(
-            {their_port, std::move(env.msg)});
-        ++round_messages;
+  // On every exit (including exceptions) jump the epoch past both mailbox
+  // buffers so no stale message or pending mark can leak into a later run.
+  const auto invalidate_state = [&] {
+    epoch_ += 2;
+    rcv_count_.assign(n, 0);
+  };
+
+  const auto step_shard = [&](int round) {
+    return [&, round](unsigned s) {
+      ShardState& shard = shards[s];
+      try {
+        const std::uint64_t next_epoch = epoch_ + 1;
+        for (const NodeId v : shard.active) {
+          if (failed.load(std::memory_order_relaxed)) break;
+          const auto vi = static_cast<std::size_t>(v);
+          const std::size_t base = slot_offset_[vi];
+
+          // Gather the inbox from the port slots; slots are visited in
+          // port order, so no sort is needed, and the receive counter
+          // cuts the scan short.
+          shard.inbox.clear();
+          std::uint32_t remaining = rcv_count_[vi];
+          rcv_count_[vi] = 0;
+          const std::size_t slot_end = slot_offset_[vi + 1];
+          for (std::size_t slot = base; remaining > 0 && slot < slot_end;
+               ++slot) {
+            if (cur_stamp_[slot] == epoch_) {
+              shard.inbox.push_back({static_cast<int>(slot - base),
+                                     std::move(cur_msg_[slot])});
+              --remaining;
+            }
+          }
+          DMATCH_ASSERT(remaining == 0);
+
+          if (procs[vi]->halted() && shard.inbox.empty()) continue;
+
+          shard.outbox.clear();
+          NodeContext ctx(g, v, g.node_count(), round, node_rng_[vi],
+                          mate_port_[vi], model_, cap_bits_, shard.outbox,
+                          shard.stats);
+          procs[vi]->on_round(ctx, shard.inbox);
+
+          for (Envelope& env : shard.outbox) {
+            const std::size_t out_slot =
+                base + static_cast<std::size_t>(env.port);
+            const std::size_t in_slot = peer_slot_[out_slot];
+            // At most one message per port per round; a second send would
+            // silently overwrite the first.
+            DMATCH_EXPECTS(nxt_stamp_[in_slot] != next_epoch);
+            nxt_msg_[in_slot] = std::move(env.msg);
+            nxt_stamp_[in_slot] = next_epoch;
+            const NodeId u = peer_node_[out_slot];
+            lane(s, shard_of(u)).push_back(u);
+          }
+          if (!procs[vi]->halted()) {
+            shard.next_active.push_back(v);
+            pending_mark_[vi] = next_epoch;
+          }
+        }
+      } catch (...) {
+        shard.error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    };
+  };
+
+  const auto route_shard = [&](unsigned t) {
+    ShardState& shard = shards[t];
+    const std::uint64_t next_epoch = epoch_ + 1;
+    for (unsigned s = 0; s < num_shards; ++s) {
+      std::vector<NodeId>& box = lane(s, t);
+      for (const NodeId u : box) {
+        const auto ui = static_cast<std::size_t>(u);
+        ++rcv_count_[ui];
+        if (pending_mark_[ui] != next_epoch) {
+          pending_mark_[ui] = next_epoch;
+          shard.next_active.push_back(u);
+        }
+      }
+      box.clear();
+    }
+  };
+
+  int executed = 0;
+  bool quiesced = false;
+  for (; executed < max_rounds; ++executed) {
+    quiesced = std::all_of(shards.begin(), shards.end(), [](const auto& s) {
+      return s.active.empty();
+    });
+    if (quiesced) break;
+
+    for_each_shard(step_shard(executed));
+    if (failed.load(std::memory_order_relaxed)) {
+      invalidate_state();
+      for (const ShardState& shard : shards) {
+        if (shard.error != nullptr) std::rethrow_exception(shard.error);
       }
     }
-    std::swap(inbox, next_inbox);
+    for_each_shard(route_shard);
+
+    std::uint64_t routed = 0;
+    for (const ShardState& shard : shards) routed += shard.stats.messages;
+    stats.round_messages.push_back(routed - routed_before);
+    routed_before = routed;
     ++stats.rounds;
-    (void)round_messages;
+
+    std::swap(cur_msg_, nxt_msg_);
+    std::swap(cur_stamp_, nxt_stamp_);
+    ++epoch_;
+    for (ShardState& shard : shards) {
+      std::swap(shard.active, shard.next_active);
+      shard.next_active.clear();
+    }
   }
 
-  // Budget exhausted: completed only if nothing is pending.
-  stats.completed =
-      std::all_of(procs.begin(), procs.end(),
-                  [](const auto& p) { return p->halted(); }) &&
-      std::all_of(inbox.begin(), inbox.end(),
-                  [](const auto& box) { return box.empty(); });
+  if (!quiesced) {
+    // Budget exhausted: completed only if nothing is pending.
+    quiesced = std::all_of(shards.begin(), shards.end(), [](const auto& s) {
+      return s.active.empty();
+    });
+  }
+  stats.completed = quiesced;
+  for (const ShardState& shard : shards) stats.merge(shard.stats);
+  invalidate_state();
   total_.merge(stats);
   return stats;
 }

@@ -6,6 +6,15 @@
 // (rounds, messages, bits, max message size). In Model::kCongest it
 // enforces a hard per-message bit cap of congest_factor * ceil(log2 n);
 // Model::kLocal only records sizes.
+//
+// Rounds execute on a sharded engine (see docs/PROTOCOLS.md, "Round
+// engine"): nodes are partitioned into contiguous shards, one per worker
+// of a persistent thread pool, and each round runs as step phase ->
+// barrier -> route phase. Messages travel through port-indexed mailbox
+// slots (one slot per directed edge endpoint), so delivery is always in
+// ascending port order and no mutex sits on the hot path. Results —
+// matchings, RunStats, every per-node RNG draw — are bit-identical for
+// any Options::num_threads.
 #pragma once
 
 #include <functional>
@@ -13,10 +22,12 @@
 #include <stdexcept>
 #include <vector>
 
+#include "congest/message.hpp"
 #include "congest/process.hpp"
 #include "graph/graph.hpp"
 #include "graph/matching.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 
 namespace dmatch::congest {
 
@@ -34,13 +45,18 @@ struct RunStats {
   std::uint64_t total_bits = 0;
   std::uint32_t max_message_bits = 0;
   bool completed = true;  // all nodes halted before the round budget ran out
+  /// Messages sent in each executed round (size == rounds); the per-round
+  /// histogram behind `messages`, so sum(round_messages) == messages.
+  std::vector<std::uint64_t> round_messages;
 
-  void merge(const RunStats& other) noexcept {
+  void merge(const RunStats& other) {
     rounds += other.rounds;
     messages += other.messages;
     total_bits += other.total_bits;
     max_message_bits = std::max(max_message_bits, other.max_message_bits);
     completed = completed && other.completed;
+    round_messages.insert(round_messages.end(), other.round_messages.begin(),
+                          other.round_messages.end());
   }
 
   /// Rounds after charging over-cap messages as pipelined chunks: a
@@ -60,17 +76,27 @@ using ProcessFactory =
 
 class Network {
  public:
+  struct Options {
+    /// Worker count of the round engine. 0 = hardware concurrency;
+    /// 1 = fully sequential (no OS threads are created). Any value
+    /// produces bit-identical runs.
+    unsigned num_threads = 0;
+  };
+
   /// `congest_factor`: per-message cap in units of ceil(log2 n) bits
   /// (ceil(log2 n) is floored at 4 so toy graphs can still run protocols
   /// whose constants assume a few machine words).
   Network(const Graph& g, Model model, std::uint64_t seed,
           std::uint32_t congest_factor = 48);
+  Network(const Graph& g, Model model, std::uint64_t seed,
+          std::uint32_t congest_factor, Options options);
 
   [[nodiscard]] const Graph& graph() const noexcept { return *g_; }
   [[nodiscard]] Model model() const noexcept { return model_; }
   [[nodiscard]] std::uint32_t message_cap_bits() const noexcept {
     return cap_bits_;
   }
+  [[nodiscard]] unsigned num_threads() const noexcept { return num_threads_; }
 
   /// Run one protocol until every node halts with no message in flight, or
   /// until `max_rounds` rounds have executed. Returns the stats of this run
@@ -94,9 +120,34 @@ class Network {
   const Graph* g_;
   Model model_;
   std::uint32_t cap_bits_;
+  unsigned num_threads_;
   std::vector<Rng> node_rng_;
   std::vector<int> mate_port_;  // output registers; -1 = unmatched
   RunStats total_;
+
+  // Routing tables, built once: slot i = slot_offset_[v] + p addresses
+  // node v's port p. peer_slot_[i] is the slot of the same edge at the
+  // other endpoint; peer_node_[i] is that endpoint.
+  std::vector<std::size_t> slot_offset_;  // size n+1 (CSR offsets)
+  std::vector<std::uint32_t> peer_slot_;  // size 2m
+  std::vector<NodeId> peer_node_;         // size 2m
+
+  // Double-buffered port-indexed mailboxes. A slot holds a live message
+  // for the current round iff its stamp equals epoch_; epoch_ advances
+  // every round (and past both buffers at the end of every run), so the
+  // buffers never need clearing.
+  std::vector<Message> cur_msg_, nxt_msg_;            // size 2m each
+  std::vector<std::uint64_t> cur_stamp_, nxt_stamp_;  // size 2m each
+  std::uint64_t epoch_ = 1;
+
+  // Per-node engine bookkeeping, single-writer (the owning shard's
+  // worker): pending_mark_[v] == e means v is already scheduled for the
+  // round with epoch e; rcv_count_[v] counts messages awaiting v, which
+  // lets the inbox builder stop scanning ports early.
+  std::vector<std::uint64_t> pending_mark_;
+  std::vector<std::uint32_t> rcv_count_;
+
+  std::unique_ptr<support::ThreadPool> pool_;  // created on first use
 };
 
 }  // namespace dmatch::congest

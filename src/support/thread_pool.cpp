@@ -1,0 +1,69 @@
+#include "support/thread_pool.hpp"
+
+namespace dmatch::support {
+
+ThreadPool::ThreadPool(unsigned num_threads)
+    : size_(num_threads == 0 ? 1 : num_threads) {
+  workers_.reserve(size_ - 1);
+  for (unsigned i = 1; i < size_; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop(unsigned index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(unsigned)>* task = nullptr;
+    {
+      std::unique_lock lock(mu_);
+      start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      task = task_;
+    }
+    (*task)(index);
+    {
+      std::lock_guard lock(mu_);
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::await_workers(std::unique_lock<std::mutex>& lock) {
+  done_cv_.wait(lock, [&] { return pending_ == 0; });
+  task_ = nullptr;
+}
+
+void ThreadPool::run(const std::function<void(unsigned)>& task) {
+  if (size_ == 1) {
+    task(0);
+    return;
+  }
+  {
+    std::lock_guard lock(mu_);
+    task_ = &task;
+    pending_ = size_ - 1;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  try {
+    task(0);
+  } catch (...) {
+    std::unique_lock lock(mu_);
+    await_workers(lock);
+    throw;
+  }
+  std::unique_lock lock(mu_);
+  await_workers(lock);
+}
+
+}  // namespace dmatch::support

@@ -1,0 +1,62 @@
+// Persistent fork-join worker pool for the parallel round engine.
+//
+// A pool of `size()` logical workers executes one task function at a time:
+// run(task) invokes task(0..size-1), with the calling thread participating
+// as worker 0, and returns only after every index has finished. The pool is
+// built once and reused across dispatches, so per-round overhead is two
+// condition-variable handshakes rather than thread churn. With size() == 1
+// no OS threads are ever created and run() degenerates to an inline call,
+// which is the engine's deterministic legacy path.
+//
+// Memory model: everything a worker wrote during run(task) happens-before
+// run() returning (the completion handshake goes through the pool mutex),
+// and everything the caller wrote before run() happens-before the workers
+// observing the new task. Callers therefore need no extra synchronization
+// between consecutive dispatches.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dmatch::support {
+
+class ThreadPool {
+ public:
+  /// `num_threads` logical workers; 0 is promoted to 1. Spawns
+  /// num_threads - 1 OS threads (the caller of run() is worker 0).
+  explicit ThreadPool(unsigned num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const noexcept { return size_; }
+
+  /// Execute task(i) for every i in [0, size()) and block until all
+  /// complete. Tasks must not throw across this boundary for indices > 0
+  /// (workers have nowhere to propagate); capture errors into per-worker
+  /// state instead. An exception from the caller-run task(0) is rethrown
+  /// after the remaining workers finish. Not reentrant.
+  void run(const std::function<void(unsigned)>& task);
+
+ private:
+  void worker_loop(unsigned index);
+  void await_workers(std::unique_lock<std::mutex>& lock);
+
+  unsigned size_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(unsigned)>* task_ = nullptr;
+  std::uint64_t generation_ = 0;
+  unsigned pending_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace dmatch::support

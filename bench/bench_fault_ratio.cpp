@@ -1,0 +1,149 @@
+// E19 -- graceful degradation: approximation quality of the bipartite and
+// general MCM drivers as a function of injected message-drop and
+// node-crash rates. Emits one JSON line per (algorithm, drop, crash)
+// cell so the sweep can be post-processed, plus a human-readable table.
+//
+// The bipartite ratio is measured against the optimum of the *surviving*
+// subgraph (crashed nodes are unmatchable for any algorithm); the general
+// driver owns its networks internally, so its ratio is reported against
+// the full-graph optimum and is therefore a lower bound on the fair one.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/api.hpp"
+#include "core/verify.hpp"
+#include "graph/blossom.hpp"
+#include "graph/generators.hpp"
+#include "support/table.hpp"
+
+using namespace dmatch;
+
+namespace {
+
+struct Cell {
+  int runs = 0;
+  double sum_ratio = 0;
+  double min_ratio = 1.0;
+  double sum_crashed = 0;
+  int degraded = 0;
+  int budget_exhausted = 0;
+  int contract_tripped = 0;
+  int invalid = 0;
+
+  void add(const MatchingInvariantReport& report,
+           const congest::DegradationReport& degradation) {
+    ++runs;
+    sum_ratio += report.ratio;
+    min_ratio = std::min(min_ratio, report.ratio);
+    sum_crashed += static_cast<double>(degradation.crashed_nodes);
+    degraded += degradation.degraded() ? 1 : 0;
+    budget_exhausted += degradation.budget_exhausted ? 1 : 0;
+    contract_tripped += degradation.contract_tripped ? 1 : 0;
+    invalid += report.ok() ? 0 : 1;
+  }
+
+  void emit_json(const char* algo, double drop, double crash) const {
+    std::cout << "{\"experiment\": \"E19\", \"algo\": \"" << algo
+              << "\", \"drop\": " << drop << ", \"crash\": " << crash
+              << ", \"runs\": " << runs
+              << ", \"avg_ratio\": " << sum_ratio / runs
+              << ", \"min_ratio\": " << min_ratio
+              << ", \"avg_crashed_nodes\": " << sum_crashed / runs
+              << ", \"degraded_runs\": " << degraded
+              << ", \"budget_exhausted_runs\": " << budget_exhausted
+              << ", \"contract_tripped_runs\": " << contract_tripped
+              << ", \"invalid_runs\": " << invalid << "}\n";
+  }
+};
+
+congest::FaultPlan make_plan(double drop, double crash, std::uint64_t seed) {
+  congest::FaultPlan plan;
+  plan.drop_prob = drop;
+  plan.crash_prob = crash;
+  plan.crash_round_bound = 64;
+  plan.restart_prob = 0.0;
+  plan.seed = seed;
+  return plan;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E19",
+                "matching quality under injected drop and crash faults");
+
+  const double kDropRates[] = {0.0, 0.01, 0.05, 0.1};
+  const double kCrashRates[] = {0.0, 0.01};
+  const int seeds = 3;
+
+  Table table({"algo", "drop", "crash", "avg ratio", "min ratio",
+               "avg dead", "degraded", "invalid"});
+  for (const double crash : kCrashRates) {
+    for (const double drop : kDropRates) {
+      Cell bip;
+      for (int s = 0; s < seeds; ++s) {
+        const auto seed = static_cast<std::uint64_t>(s) + 1;
+        const Graph g = gen::bipartite_gnp(48, 48, 0.1, seed);
+        const auto side = g.bipartition();
+        congest::Network::Options net_options;
+        net_options.fault = make_plan(drop, crash, seed * 977);
+        congest::Network net(g, congest::Model::kCongest, seed + 40, 48,
+                             net_options);
+        BipartiteMcmOptions options;
+        options.k = 5;
+        const BipartiteMcmResult result = bipartite_mcm(net, *side, options);
+        bip.add(verify_matching_invariants(g, result.matching, &net, true),
+                result.degradation);
+      }
+      bip.emit_json("bipartite_mcm", drop, crash);
+      table.row()
+          .cell("bipartite")
+          .cell(drop, 2)
+          .cell(crash, 2)
+          .cell(bip.sum_ratio / bip.runs, 4)
+          .cell(bip.min_ratio, 4)
+          .cell(bip.sum_crashed / bip.runs, 1)
+          .cell(std::int64_t{bip.degraded})
+          .cell(std::int64_t{bip.invalid});
+
+      Cell gen_cell;
+      for (int s = 0; s < seeds; ++s) {
+        const auto seed = static_cast<std::uint64_t>(s) + 1;
+        const Graph g = gen::gnp(64, 0.06, seed);
+        GeneralMcmOptions options;
+        options.k = 3;
+        options.patience = 8;
+        options.seed = seed + 60;
+        options.fault = make_plan(drop, crash, seed * 1409);
+        const GeneralMcmResult result = general_mcm(g, options);
+        MatchingInvariantReport report =
+            verify_matching_invariants(g, result.matching);
+        const std::size_t opt = blossom_mcm(g).size();
+        report.optimal_size = opt;
+        report.ratio = opt == 0 ? 1.0
+                                : static_cast<double>(report.size) /
+                                      static_cast<double>(opt);
+        gen_cell.add(report, result.degradation);
+      }
+      gen_cell.emit_json("general_mcm", drop, crash);
+      table.row()
+          .cell("general")
+          .cell(drop, 2)
+          .cell(crash, 2)
+          .cell(gen_cell.sum_ratio / gen_cell.runs, 4)
+          .cell(gen_cell.min_ratio, 4)
+          .cell(gen_cell.sum_crashed / gen_cell.runs, 1)
+          .cell(std::int64_t{gen_cell.degraded})
+          .cell(std::int64_t{gen_cell.invalid});
+    }
+  }
+  std::cout << "\n";
+  table.print(std::cout);
+  bench::footer(
+      "Reading: ratios stay near 1-1/k at drop <= 0.05 with no crashes "
+      "(the\nresilient layer masks message loss), dip with crashes roughly "
+      "by the dead\nfraction (general MCM: full-graph denominator), and "
+      "invalid runs stay 0\neverywhere -- degradation is graceful, never "
+      "corrupt.");
+  return 0;
+}

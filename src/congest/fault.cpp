@@ -1,0 +1,27 @@
+#include "congest/fault.hpp"
+
+namespace dmatch::congest::fault_detail {
+
+namespace {
+
+constexpr std::uint64_t finalize(std::uint64_t z) noexcept {
+  z ^= z >> 30;
+  z *= 0xbf58476d1ce4e5b9ULL;
+  z ^= z >> 27;
+  z *= 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return z;
+}
+
+}  // namespace
+
+std::uint64_t mix(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                  std::uint64_t d) noexcept {
+  std::uint64_t h = finalize(a + 0x9e3779b97f4a7c15ULL);
+  h = finalize(h ^ (b + 0x9e3779b97f4a7c15ULL));
+  h = finalize(h ^ (c + 0x9e3779b97f4a7c15ULL));
+  h = finalize(h ^ (d + 0x9e3779b97f4a7c15ULL));
+  return h;
+}
+
+}  // namespace dmatch::congest::fault_detail

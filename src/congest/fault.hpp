@@ -1,0 +1,127 @@
+// Deterministic fault model for the CONGEST simulator.
+//
+// A FaultPlan (attached through Network::Options) describes which
+// adversarial events the round engine injects: per-message drops,
+// duplicates, k-round delays and per-receiver inbox reorderings, plus
+// node crashes and crash-restarts. Every probabilistic decision is a
+// pure hash of (plan seed, run nonce, round, slot/node), never a draw
+// from a shared stream, so a faulty run is bit-identical for any
+// Options::num_threads — the same contract the fault-free engine gives.
+//
+// Crash schedules are drawn once per node from the plan seed (so every
+// Network built with the same plan agrees on who dies when), with
+// explicit scheduled CrashEvents layered on top. Rounds in crash
+// schedules are *lifetime* rounds: they accumulate over every run() a
+// Network executes, which lets a driver that composes many protocol
+// runs on one Network see a consistent failure history.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dmatch::congest {
+
+/// Round number that never arrives (no crash / no restart).
+inline constexpr std::uint64_t kRoundNever = ~std::uint64_t{0};
+
+/// An explicitly scheduled crash: `node` dies at lifetime round `round`
+/// (it executes no step from that round on) and, if `restart_round` is
+/// set, comes back at that round with fresh protocol state and a cleared
+/// output register.
+struct CrashEvent {
+  NodeId node = 0;
+  std::uint64_t round = 0;
+  std::uint64_t restart_round = kRoundNever;
+};
+
+struct FaultPlan {
+  // --- Per-message faults (decided per delivery attempt) ---
+  /// Probability a message is lost in transit.
+  double drop_prob = 0;
+  /// Probability a message is delivered twice; the extra copy arrives
+  /// 1..max_delay rounds after the original.
+  double duplicate_prob = 0;
+  /// Probability a message is late: its only copy arrives 1..max_delay
+  /// rounds after the normal delivery round.
+  double delay_prob = 0;
+  /// Largest extra delay, in rounds (for both delays and duplicates).
+  int max_delay = 3;
+  /// Probability that a receiver's inbox for one round is handed to the
+  /// process in a scrambled (but seed-deterministic) order instead of
+  /// the engine's ascending-port order.
+  double reorder_prob = 0;
+
+  // --- Node crashes ---
+  /// Per-node probability of crashing at all (drawn once per node from
+  /// the plan seed; the crash round is uniform in [0, crash_round_bound)).
+  double crash_prob = 0;
+  std::uint64_t crash_round_bound = 64;
+  /// Probability that a crashing node restarts (crash-restart fault)
+  /// `restart_delay` rounds later, with fresh state.
+  double restart_prob = 0;
+  std::uint64_t restart_delay = 8;
+  /// Scheduled crashes, applied after the probabilistic draw (a node
+  /// listed here gets exactly the listed schedule).
+  std::vector<CrashEvent> crashes;
+
+  /// Seed of the fault stream. Independent of the protocol seed: the
+  /// same protocol run can be replayed under different fault histories
+  /// and vice versa.
+  std::uint64_t seed = 0;
+
+  /// True if any fault can ever fire. A default-constructed plan is
+  /// inactive and leaves the engine's behavior byte-for-byte unchanged.
+  [[nodiscard]] bool any() const noexcept {
+    return drop_prob > 0 || duplicate_prob > 0 || delay_prob > 0 ||
+           reorder_prob > 0 || crash_prob > 0 || !crashes.empty();
+  }
+};
+
+/// What a self-healing driver had to give up to return a valid matching
+/// under a FaultPlan. All-zero/false means the run degraded nowhere.
+struct DegradationReport {
+  /// A protocol run hit its real-round watchdog budget before quiescing.
+  bool budget_exhausted = false;
+  /// A protocol invariant threw under faults; the run was abandoned and
+  /// the registers healed (never surfaces without an active plan).
+  bool contract_tripped = false;
+  /// Nodes dead at extraction time.
+  std::uint64_t crashed_nodes = 0;
+  /// Registers cleared because the partner did not point back (torn,
+  /// e.g. an augmentation whose trace-back a fault cut short).
+  std::uint64_t torn_registers_healed = 0;
+  /// Registers cleared because they sat on (or pointed at) a dead node.
+  std::uint64_t dead_registers_healed = 0;
+
+  [[nodiscard]] bool degraded() const noexcept {
+    return budget_exhausted || contract_tripped || crashed_nodes > 0 ||
+           torn_registers_healed > 0 || dead_registers_healed > 0;
+  }
+
+  void merge(const DegradationReport& o) noexcept {
+    budget_exhausted = budget_exhausted || o.budget_exhausted;
+    contract_tripped = contract_tripped || o.contract_tripped;
+    crashed_nodes = std::max(crashed_nodes, o.crashed_nodes);
+    torn_registers_healed += o.torn_registers_healed;
+    dead_registers_healed += o.dead_registers_healed;
+  }
+};
+
+namespace fault_detail {
+
+/// Stateless mix of up to four words into one hash (SplitMix64 finalizer
+/// chain). The basis of every per-message / per-node fault decision.
+std::uint64_t mix(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                  std::uint64_t d) noexcept;
+
+/// Map a hash to a uniform double in [0, 1).
+inline double to_unit(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace fault_detail
+
+}  // namespace dmatch::congest

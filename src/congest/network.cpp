@@ -4,6 +4,8 @@
 #include <atomic>
 #include <exception>
 #include <thread>
+#include <tuple>
+#include <utility>
 
 #include "support/assert.hpp"
 #include "support/wire.hpp"
@@ -11,6 +13,37 @@
 namespace dmatch::congest {
 
 namespace {
+
+// Salt words separating the independent per-message / per-node fault
+// decisions derived from one (seed, nonce, round, slot) hash.
+constexpr std::uint64_t kSaltDrop = 0xd509;
+constexpr std::uint64_t kSaltDelay = 0xde1a;
+constexpr std::uint64_t kSaltDelayAmount = 0xde1b;
+constexpr std::uint64_t kSaltDup = 0xd0b1;
+constexpr std::uint64_t kSaltDupAmount = 0xd0b2;
+constexpr std::uint64_t kSaltReorder = 0x5eff;
+constexpr std::uint64_t kSaltCrash = 0xc4a5;
+constexpr std::uint64_t kSaltCrashRound = 0xc4a6;
+constexpr std::uint64_t kSaltRestart = 0xc4a7;
+
+/// A faulty (delayed or duplicated) delivery parked until its round.
+/// `origin_round` keys the canonical per-receiver ordering, so delivery
+/// order never depends on the shard layout.
+struct ExtraMsg {
+  NodeId node;        // receiver
+  int port;           // receiver-side port
+  int origin_round;   // run-local round the message was sent in
+  Message msg;
+};
+
+/// ExtraMsg in transit between shards, tagged with its delivery round.
+struct FaultLaneMsg {
+  NodeId node;
+  int port;
+  int deliver_round;  // run-local
+  int origin_round;
+  Message msg;
+};
 
 /// Concrete per-node Context bound to the Network's state for one round.
 class NodeContext final : public Context {
@@ -86,6 +119,11 @@ struct alignas(64) ShardState {
   std::vector<Envelope> inbox;       // scratch, reused across nodes
   std::vector<Envelope> outbox;      // scratch, reused across nodes
   std::exception_ptr error;          // first throw from this shard
+  // Delay ring (faulty runs only): bucket [r % window] holds the delayed
+  // and duplicated deliveries due at run-local round r, for this shard's
+  // nodes. Buckets are canonically sorted at the preceding route phase.
+  std::vector<std::vector<ExtraMsg>> ring;
+  std::uint64_t pending_extras = 0;  // entries parked across all buckets
 };
 
 }  // namespace
@@ -96,14 +134,14 @@ Network::Network(const Graph& g, Model model, std::uint64_t seed,
 
 Network::Network(const Graph& g, Model model, std::uint64_t seed,
                  std::uint32_t congest_factor, Options options)
-    : g_(&g), model_(model) {
+    : g_(&g), model_(model), options_(std::move(options)) {
   const auto n = static_cast<std::size_t>(g.node_count());
   unsigned log_n = 1;
   while ((NodeId{1} << log_n) < g.node_count()) ++log_n;
   cap_bits_ = congest_factor * std::max(log_n, 4u);
 
-  num_threads_ = options.num_threads != 0
-                     ? options.num_threads
+  num_threads_ = options_.num_threads != 0
+                     ? options_.num_threads
                      : std::max(1u, std::thread::hardware_concurrency());
 
   Rng root(seed);
@@ -143,12 +181,71 @@ Network::Network(const Graph& g, Model model, std::uint64_t seed,
   nxt_stamp_.assign(slots, 0);
   pending_mark_.assign(n, 0);
   rcv_count_.assign(n, 0);
+
+  // Precompute the whole crash schedule from the plan seed so every
+  // Network built with the same plan — at any thread count — agrees on
+  // who dies when, before a single round executes.
+  fault_active_ = options_.fault.any();
+  if (fault_active_) {
+    const FaultPlan& plan = options_.fault;
+    using fault_detail::mix;
+    using fault_detail::to_unit;
+    crash_at_.assign(n, kRoundNever);
+    restart_at_.assign(n, kRoundNever);
+    if (plan.crash_prob > 0) {
+      const std::uint64_t bound =
+          std::max<std::uint64_t>(1, plan.crash_round_bound);
+      for (NodeId v = 0; v < g.node_count(); ++v) {
+        const auto vi = static_cast<std::size_t>(v);
+        if (to_unit(mix(plan.seed, kSaltCrash, v, 0)) >= plan.crash_prob) {
+          continue;
+        }
+        crash_at_[vi] = mix(plan.seed, kSaltCrashRound, v, 0) % bound;
+        if (plan.restart_prob > 0 &&
+            to_unit(mix(plan.seed, kSaltRestart, v, 0)) < plan.restart_prob) {
+          restart_at_[vi] =
+              crash_at_[vi] + std::max<std::uint64_t>(1, plan.restart_delay);
+        }
+      }
+    }
+    for (const CrashEvent& ev : plan.crashes) {
+      DMATCH_EXPECTS(ev.node < g.node_count());
+      DMATCH_EXPECTS(ev.restart_round == kRoundNever ||
+                     ev.restart_round > ev.round);
+      const auto vi = static_cast<std::size_t>(ev.node);
+      crash_at_[vi] = ev.round;
+      restart_at_[vi] = ev.restart_round;
+    }
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      const auto vi = static_cast<std::size_t>(v);
+      if (crash_at_[vi] != kRoundNever && restart_at_[vi] != kRoundNever) {
+        restart_events_.emplace_back(restart_at_[vi], v);
+      }
+    }
+    std::sort(restart_events_.begin(), restart_events_.end());
+    respawn_pending_.assign(n, 0);
+    restart_cleared_.assign(n, 0);
+  }
 }
 
 RunStats Network::run(const ProcessFactory& factory, int max_rounds) {
   DMATCH_EXPECTS(max_rounds >= 0);
   const Graph& g = *g_;
   const auto n = static_cast<std::size_t>(g.node_count());
+
+  // Fault-injection setup. Every probabilistic decision below is a pure
+  // hash of (fseed, round, slot-or-node), so the injected history is a
+  // function of the plan alone — identical for every thread count.
+  const bool faults = fault_active_;
+  const FaultPlan& plan = options_.fault;
+  const std::uint64_t base_round = lifetime_rounds_;
+  const std::uint64_t fseed =
+      faults ? fault_detail::mix(plan.seed, 0x5eedf417, fault_nonce_++, 0) : 0;
+  const int max_d = faults ? std::max(1, plan.max_delay) : 0;
+  // Ring width: a message sent at round r is parked for round r+2 ..
+  // r+1+max_d, and buckets r and r+1 are in use, so max_d+2 never wraps
+  // a live bucket onto one being filled.
+  const int delay_window = faults ? max_d + 2 : 0;
 
   const unsigned num_shards = num_threads_;
   if (num_shards > 1 && pool_ == nullptr) {
@@ -162,6 +259,11 @@ RunStats Network::run(const ProcessFactory& factory, int max_rounds) {
   };
 
   std::vector<ShardState> shards(num_shards);
+  if (faults) {
+    for (ShardState& shard : shards) {
+      shard.ring.resize(static_cast<std::size_t>(delay_window));
+    }
+  }
   // Activity lanes: lane(src, dst) carries the ids of nodes in shard dst
   // that shard src delivered a message to; the payloads themselves go
   // straight into the port slots. Drained by dst at the routing barrier.
@@ -170,15 +272,36 @@ RunStats Network::run(const ProcessFactory& factory, int max_rounds) {
   const auto lane = [&](unsigned src, unsigned dst) -> std::vector<NodeId>& {
     return lanes[static_cast<std::size_t>(src) * num_shards + dst];
   };
+  // Same shape for faulty (delayed / duplicated) deliveries, which carry
+  // their payload with them because they bypass the port slots.
+  std::vector<std::vector<FaultLaneMsg>> fault_lanes(
+      faults ? static_cast<std::size_t>(num_shards) * num_shards : 0);
+  const auto fault_lane =
+      [&](unsigned src, unsigned dst) -> std::vector<FaultLaneMsg>& {
+    return fault_lanes[static_cast<std::size_t>(src) * num_shards + dst];
+  };
 
   std::vector<std::unique_ptr<Process>> procs;
   procs.reserve(n);
   for (NodeId v = 0; v < g.node_count(); ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    if (faults) {
+      respawn_pending_[vi] = 0;
+      // A crash-restart interval that completed before this run began:
+      // the node comes back with a cleared output register, once.
+      if (restart_at_[vi] <= base_round && !restart_cleared_[vi]) {
+        mate_port_[vi] = -1;
+        restart_cleared_[vi] = 1;
+      }
+    }
     procs.push_back(factory(v, g));
     DMATCH_ENSURES(procs.back() != nullptr);
     // A process that starts out halted is never stepped (and, with no
     // messages in flight yet, cannot be woken) until someone contacts it.
-    if (!procs.back()->halted()) shards[shard_of(v)].active.push_back(v);
+    // Currently dead nodes likewise wait for their restart event.
+    if (!procs.back()->halted() && !(faults && dead_at(v, base_round))) {
+      shards[shard_of(v)].active.push_back(v);
+    }
   }
 
   RunStats stats;
@@ -205,10 +328,39 @@ RunStats Network::run(const ProcessFactory& factory, int max_rounds) {
       ShardState& shard = shards[s];
       try {
         const std::uint64_t next_epoch = epoch_ + 1;
+        const std::uint64_t life_round =
+            base_round + static_cast<std::uint64_t>(round);
         for (const NodeId v : shard.active) {
           if (failed.load(std::memory_order_relaxed)) break;
           const auto vi = static_cast<std::size_t>(v);
           const std::size_t base = slot_offset_[vi];
+
+          if (faults) {
+            if (dead_at(v, life_round)) {
+              // Dead node: consume and discard everything addressed to
+              // it. Delayed deliveries stay parked; the route phase
+              // clears the bucket wholesale after this round.
+              shard.stats.dropped_messages += rcv_count_[vi];
+              rcv_count_[vi] = 0;
+              const auto& bucket =
+                  shard.ring[static_cast<std::size_t>(round % delay_window)];
+              auto it = std::lower_bound(
+                  bucket.begin(), bucket.end(), v,
+                  [](const ExtraMsg& e, NodeId node) { return e.node < node; });
+              for (; it != bucket.end() && it->node == v; ++it) {
+                ++shard.stats.dropped_messages;
+              }
+              continue;
+            }
+            if (respawn_pending_[vi]) {
+              // Crash-restart: fresh protocol state, cleared register.
+              respawn_pending_[vi] = 0;
+              restart_cleared_[vi] = 1;
+              mate_port_[vi] = -1;
+              procs[vi] = factory(v, g);
+              DMATCH_ENSURES(procs[vi] != nullptr);
+            }
+          }
 
           // Gather the inbox from the port slots; slots are visited in
           // port order, so no sort is needed, and the receive counter
@@ -227,7 +379,35 @@ RunStats Network::run(const ProcessFactory& factory, int max_rounds) {
           }
           DMATCH_ASSERT(remaining == 0);
 
+          if (faults) {
+            // Append delayed / duplicated deliveries due this round. The
+            // bucket was sorted by (node, port, origin round) at the last
+            // route phase, so this order is shard-layout independent.
+            auto& bucket =
+                shard.ring[static_cast<std::size_t>(round % delay_window)];
+            auto it = std::lower_bound(
+                bucket.begin(), bucket.end(), v,
+                [](const ExtraMsg& e, NodeId node) { return e.node < node; });
+            for (; it != bucket.end() && it->node == v; ++it) {
+              shard.inbox.push_back({it->port, std::move(it->msg)});
+            }
+          }
+
           if (procs[vi]->halted() && shard.inbox.empty()) continue;
+
+          if (faults && plan.reorder_prob > 0 && shard.inbox.size() > 1) {
+            const std::uint64_t h =
+                fault_detail::mix(fseed, kSaltReorder, life_round, v);
+            if (fault_detail::to_unit(h) < plan.reorder_prob) {
+              std::uint64_t state = h;
+              for (std::size_t i = shard.inbox.size() - 1; i > 0; --i) {
+                const auto j =
+                    static_cast<std::size_t>(splitmix64(state) % (i + 1));
+                std::swap(shard.inbox[i], shard.inbox[j]);
+              }
+              ++shard.stats.reordered_inboxes;
+            }
+          }
 
           shard.outbox.clear();
           NodeContext ctx(g, v, g.node_count(), round, node_rng_[vi],
@@ -239,12 +419,55 @@ RunStats Network::run(const ProcessFactory& factory, int max_rounds) {
             const std::size_t out_slot =
                 base + static_cast<std::size_t>(env.port);
             const std::size_t in_slot = peer_slot_[out_slot];
+            const NodeId u = peer_node_[out_slot];
+            if (faults) {
+              const std::uint64_t h =
+                  fault_detail::mix(fseed, life_round, in_slot, 0);
+              if (plan.drop_prob > 0 &&
+                  fault_detail::to_unit(fault_detail::mix(h, kSaltDrop, 0, 0)) <
+                      plan.drop_prob) {
+                ++shard.stats.dropped_messages;
+                continue;
+              }
+              const bool dup =
+                  plan.duplicate_prob > 0 &&
+                  fault_detail::to_unit(fault_detail::mix(h, kSaltDup, 0, 0)) <
+                      plan.duplicate_prob;
+              const bool late =
+                  plan.delay_prob > 0 &&
+                  fault_detail::to_unit(
+                      fault_detail::mix(h, kSaltDelay, 0, 0)) < plan.delay_prob;
+              if (dup || late) {
+                const int rport = static_cast<int>(
+                    in_slot - slot_offset_[static_cast<std::size_t>(u)]);
+                if (dup) {
+                  const int d =
+                      1 + static_cast<int>(
+                              fault_detail::mix(h, kSaltDupAmount, 0, 0) %
+                              static_cast<std::uint64_t>(max_d));
+                  ++shard.stats.duplicated_messages;
+                  fault_lane(s, shard_of(u))
+                      .push_back({u, rport, round + 1 + d, round, env.msg});
+                }
+                if (late) {
+                  // The only copy arrives late, through the delay ring.
+                  const int d =
+                      1 + static_cast<int>(
+                              fault_detail::mix(h, kSaltDelayAmount, 0, 0) %
+                              static_cast<std::uint64_t>(max_d));
+                  ++shard.stats.delayed_messages;
+                  fault_lane(s, shard_of(u))
+                      .push_back(
+                          {u, rport, round + 1 + d, round, std::move(env.msg)});
+                  continue;
+                }
+              }
+            }
             // At most one message per port per round; a second send would
             // silently overwrite the first.
             DMATCH_EXPECTS(nxt_stamp_[in_slot] != next_epoch);
             nxt_msg_[in_slot] = std::move(env.msg);
             nxt_stamp_[in_slot] = next_epoch;
-            const NodeId u = peer_node_[out_slot];
             lane(s, shard_of(u)).push_back(u);
           }
           if (!procs[vi]->halted()) {
@@ -259,39 +482,107 @@ RunStats Network::run(const ProcessFactory& factory, int max_rounds) {
     };
   };
 
-  const auto route_shard = [&](unsigned t) {
-    ShardState& shard = shards[t];
-    const std::uint64_t next_epoch = epoch_ + 1;
-    for (unsigned s = 0; s < num_shards; ++s) {
-      std::vector<NodeId>& box = lane(s, t);
-      for (const NodeId u : box) {
+  const auto route_shard = [&](int round) {
+    return [&, round](unsigned t) {
+      ShardState& shard = shards[t];
+      const std::uint64_t next_epoch = epoch_ + 1;
+      for (unsigned s = 0; s < num_shards; ++s) {
+        std::vector<NodeId>& box = lane(s, t);
+        for (const NodeId u : box) {
+          const auto ui = static_cast<std::size_t>(u);
+          ++rcv_count_[ui];
+          if (pending_mark_[ui] != next_epoch) {
+            pending_mark_[ui] = next_epoch;
+            shard.next_active.push_back(u);
+          }
+        }
+        box.clear();
+      }
+      if (!faults) return;
+
+      // Park this round's delayed / duplicated sends in the delay ring.
+      for (unsigned s = 0; s < num_shards; ++s) {
+        std::vector<FaultLaneMsg>& box = fault_lane(s, t);
+        for (FaultLaneMsg& fm : box) {
+          shard
+              .ring[static_cast<std::size_t>(fm.deliver_round % delay_window)]
+              .push_back({fm.node, fm.port, fm.origin_round, std::move(fm.msg)});
+          ++shard.pending_extras;
+        }
+        box.clear();
+      }
+      // The bucket due this round was consumed at the step phase.
+      auto& done = shard.ring[static_cast<std::size_t>(round % delay_window)];
+      shard.pending_extras -= done.size();
+      done.clear();
+      // Canonicalize next round's bucket and wake its receivers. Sorted
+      // by (node, port, origin round), the delivery order is a function
+      // of the plan alone, never of which shard parked each message.
+      auto& next =
+          shard.ring[static_cast<std::size_t>((round + 1) % delay_window)];
+      std::sort(next.begin(), next.end(),
+                [](const ExtraMsg& a, const ExtraMsg& b) {
+                  return std::tie(a.node, a.port, a.origin_round) <
+                         std::tie(b.node, b.port, b.origin_round);
+                });
+      for (const ExtraMsg& e : next) {
+        const auto ui = static_cast<std::size_t>(e.node);
+        if (pending_mark_[ui] != next_epoch) {
+          pending_mark_[ui] = next_epoch;
+          shard.next_active.push_back(e.node);
+        }
+      }
+      // Wake this shard's nodes whose restart round is next round.
+      const std::uint64_t wake =
+          base_round + static_cast<std::uint64_t>(round) + 1;
+      auto lo = std::lower_bound(restart_events_.begin(),
+                                 restart_events_.end(),
+                                 std::make_pair(wake, NodeId{0}));
+      for (; lo != restart_events_.end() && lo->first == wake; ++lo) {
+        const NodeId u = lo->second;
+        if (shard_of(u) != t) continue;
         const auto ui = static_cast<std::size_t>(u);
-        ++rcv_count_[ui];
+        respawn_pending_[ui] = 1;
+        ++shard.stats.restarted_nodes;
         if (pending_mark_[ui] != next_epoch) {
           pending_mark_[ui] = next_epoch;
           shard.next_active.push_back(u);
         }
       }
-      box.clear();
-    }
+    };
   };
+
+  // Quiescent = nothing scheduled and (under faults) nothing parked in
+  // a delay ring.
+  const auto all_idle = [&] {
+    return std::all_of(shards.begin(), shards.end(), [](const auto& s) {
+      return s.active.empty() && s.pending_extras == 0;
+    });
+  };
+
+  // Under faults, a protocol abort (its invariants may legitimately break)
+  // must leave deterministic registers: shards step independently until the
+  // barrier, so the aborted round's partial writes depend on the shard
+  // layout. Snapshot at round start and roll back on abort.
+  std::vector<int> reg_snapshot;
 
   int executed = 0;
   bool quiesced = false;
   for (; executed < max_rounds; ++executed) {
-    quiesced = std::all_of(shards.begin(), shards.end(), [](const auto& s) {
-      return s.active.empty();
-    });
+    quiesced = all_idle();
     if (quiesced) break;
 
+    if (faults) reg_snapshot = mate_port_;
     for_each_shard(step_shard(executed));
     if (failed.load(std::memory_order_relaxed)) {
+      if (faults) mate_port_ = reg_snapshot;
       invalidate_state();
+      lifetime_rounds_ = base_round + static_cast<std::uint64_t>(executed);
       for (const ShardState& shard : shards) {
         if (shard.error != nullptr) std::rethrow_exception(shard.error);
       }
     }
-    for_each_shard(route_shard);
+    for_each_shard(route_shard(executed));
 
     std::uint64_t routed = 0;
     for (const ShardState& shard : shards) routed += shard.stats.messages;
@@ -310,13 +601,28 @@ RunStats Network::run(const ProcessFactory& factory, int max_rounds) {
 
   if (!quiesced) {
     // Budget exhausted: completed only if nothing is pending.
-    quiesced = std::all_of(shards.begin(), shards.end(), [](const auto& s) {
-      return s.active.empty();
-    });
+    quiesced = all_idle();
   }
   stats.completed = quiesced;
+  if (faults) {
+    // Deliveries still parked when the budget ran out are lost: the next
+    // run starts with fresh rings.
+    for (ShardState& shard : shards) {
+      shard.stats.dropped_messages += shard.pending_extras;
+    }
+    // Count the crash events that fired inside this run's round window
+    // (restarts were counted at their route-phase wakeups).
+    const std::uint64_t end_round =
+        base_round + static_cast<std::uint64_t>(executed);
+    for (std::size_t vi = 0; vi < n; ++vi) {
+      if (crash_at_[vi] >= base_round && crash_at_[vi] < end_round) {
+        ++stats.crashed_nodes;
+      }
+    }
+  }
   for (const ShardState& shard : shards) stats.merge(shard.stats);
   invalidate_state();
+  lifetime_rounds_ = base_round + static_cast<std::uint64_t>(executed);
   total_.merge(stats);
   return stats;
 }
@@ -338,6 +644,91 @@ Matching Network::extract_matching() const {
   }
   DMATCH_ENSURES(m.is_valid(g));
   return m;
+}
+
+Matching Network::extract_matching_resilient(DegradationReport* report) const {
+  const Graph& g = *g_;
+  Matching m(g.node_count());
+  DegradationReport scratch;
+  DegradationReport& rep = report != nullptr ? *report : scratch;
+  // crashed_nodes is a high-water mark (a dead node stays dead), so count
+  // this pass locally and max it in; repeated extractions must not inflate.
+  std::uint64_t dead_now = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    if (node_dead(v)) {
+      ++dead_now;
+      if (mate_port_[vi] >= 0) ++rep.dead_registers_healed;
+      continue;
+    }
+    const int port = mate_port_[vi];
+    if (port < 0) continue;
+    const EdgeId e = g.incident_edges(v)[static_cast<std::size_t>(port)];
+    const NodeId u = g.other_endpoint(e, v);
+    if (node_dead(u)) {
+      ++rep.dead_registers_healed;
+      continue;
+    }
+    const int uport = mate_port_[static_cast<std::size_t>(u)];
+    const bool consistent =
+        uport >= 0 &&
+        g.incident_edges(u)[static_cast<std::size_t>(uport)] == e;
+    if (!consistent) {
+      ++rep.torn_registers_healed;
+      continue;
+    }
+    if (v < u) m.add(g, e);
+  }
+  rep.crashed_nodes = std::max(rep.crashed_nodes, dead_now);
+  DMATCH_ENSURES(m.is_valid(g));
+  return m;
+}
+
+void Network::heal_registers(DegradationReport* report) {
+  const Graph& g = *g_;
+  DegradationReport scratch;
+  DegradationReport& rep = report != nullptr ? *report : scratch;
+  const auto n = static_cast<std::size_t>(g.node_count());
+  // Decide against a frozen snapshot, then clear: clearing v in place
+  // would make a consistent partner look torn within the same pass.
+  std::vector<char> dead(n, 0);
+  std::vector<char> clear(n, 0);
+  std::uint64_t dead_now = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (node_dead(v)) {
+      dead[static_cast<std::size_t>(v)] = 1;
+      ++dead_now;
+    }
+  }
+  rep.crashed_nodes = std::max(rep.crashed_nodes, dead_now);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    const int port = mate_port_[vi];
+    if (port < 0) continue;
+    if (dead[vi]) {
+      clear[vi] = 1;
+      ++rep.dead_registers_healed;
+      continue;
+    }
+    const EdgeId e = g.incident_edges(v)[static_cast<std::size_t>(port)];
+    const NodeId u = g.other_endpoint(e, v);
+    if (dead[static_cast<std::size_t>(u)]) {
+      clear[vi] = 1;
+      ++rep.dead_registers_healed;
+      continue;
+    }
+    const int uport = mate_port_[static_cast<std::size_t>(u)];
+    const bool consistent =
+        uport >= 0 &&
+        g.incident_edges(u)[static_cast<std::size_t>(uport)] == e;
+    if (!consistent) {
+      clear[vi] = 1;
+      ++rep.torn_registers_healed;
+    }
+  }
+  for (std::size_t vi = 0; vi < n; ++vi) {
+    if (clear[vi]) mate_port_[vi] = -1;
+  }
 }
 
 void Network::set_matching(const Matching& m) {

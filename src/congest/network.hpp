@@ -22,6 +22,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "congest/fault.hpp"
 #include "congest/message.hpp"
 #include "congest/process.hpp"
 #include "graph/graph.hpp"
@@ -49,6 +50,16 @@ struct RunStats {
   /// histogram behind `messages`, so sum(round_messages) == messages.
   std::vector<std::uint64_t> round_messages;
 
+  // Fault-injection counters (all zero unless the Network carries an
+  // active FaultPlan). Drops count messages lost in transit plus
+  // deliveries discarded because the receiver was dead.
+  std::uint64_t dropped_messages = 0;
+  std::uint64_t duplicated_messages = 0;
+  std::uint64_t delayed_messages = 0;
+  std::uint64_t reordered_inboxes = 0;
+  std::uint64_t crashed_nodes = 0;    // crash rounds inside this run
+  std::uint64_t restarted_nodes = 0;  // restart rounds inside this run
+
   void merge(const RunStats& other) {
     rounds += other.rounds;
     messages += other.messages;
@@ -57,6 +68,12 @@ struct RunStats {
     completed = completed && other.completed;
     round_messages.insert(round_messages.end(), other.round_messages.begin(),
                           other.round_messages.end());
+    dropped_messages += other.dropped_messages;
+    duplicated_messages += other.duplicated_messages;
+    delayed_messages += other.delayed_messages;
+    reordered_inboxes += other.reordered_inboxes;
+    crashed_nodes += other.crashed_nodes;
+    restarted_nodes += other.restarted_nodes;
   }
 
   /// Rounds after charging over-cap messages as pipelined chunks: a
@@ -81,6 +98,11 @@ class Network {
     /// 1 = fully sequential (no OS threads are created). Any value
     /// produces bit-identical runs.
     unsigned num_threads = 0;
+    /// Fault-injection plan. The default (inactive) plan leaves the
+    /// engine byte-for-byte identical to the fault-free build; an active
+    /// plan injects faults deterministically (see congest/fault.hpp) and
+    /// is still bit-identical across num_threads values.
+    FaultPlan fault;
   };
 
   /// `congest_factor`: per-message cap in units of ceil(log2 n) bits
@@ -107,8 +129,38 @@ class Network {
   /// registers are inconsistent (one-sided pointers).
   [[nodiscard]] Matching extract_matching() const;
 
+  /// Fault-tolerant extraction: never throws. Registers on dead nodes,
+  /// registers pointing at dead nodes, and one-sided (torn) pointers are
+  /// skipped — the result is always a valid matching over the surviving
+  /// nodes. Repairs are tallied into `report` when provided.
+  [[nodiscard]] Matching extract_matching_resilient(
+      DegradationReport* report = nullptr) const;
+
+  /// In-place self-healing of the output registers: clears exactly the
+  /// registers extract_matching_resilient would skip, so that a strict
+  /// extract_matching (and the next protocol run) sees a consistent
+  /// matching. Tallies repairs into `report` when provided.
+  void heal_registers(DegradationReport* report = nullptr);
+
   /// Overwrite the output registers from an explicit matching.
   void set_matching(const Matching& m);
+
+  [[nodiscard]] const FaultPlan& fault_plan() const noexcept {
+    return options_.fault;
+  }
+  [[nodiscard]] bool fault_active() const noexcept { return fault_active_; }
+
+  /// True if v is dead (crashed, not yet restarted) at the current
+  /// lifetime round.
+  [[nodiscard]] bool node_dead(NodeId v) const noexcept {
+    return fault_active_ && dead_at(v, lifetime_rounds_);
+  }
+
+  /// Rounds executed over this Network's whole lifetime (all runs).
+  /// Crash schedules are expressed on this clock.
+  [[nodiscard]] std::uint64_t lifetime_rounds() const noexcept {
+    return lifetime_rounds_;
+  }
 
   [[nodiscard]] const RunStats& total_stats() const noexcept {
     return total_;
@@ -117,10 +169,16 @@ class Network {
  private:
   friend class NodeContext;
 
+  [[nodiscard]] bool dead_at(NodeId v, std::uint64_t round) const noexcept {
+    const auto vi = static_cast<std::size_t>(v);
+    return crash_at_[vi] <= round && round < restart_at_[vi];
+  }
+
   const Graph* g_;
   Model model_;
   std::uint32_t cap_bits_;
   unsigned num_threads_;
+  Options options_;
   std::vector<Rng> node_rng_;
   std::vector<int> mate_port_;  // output registers; -1 = unmatched
   RunStats total_;
@@ -146,6 +204,20 @@ class Network {
   // lets the inbox builder stop scanning ports early.
   std::vector<std::uint64_t> pending_mark_;
   std::vector<std::uint32_t> rcv_count_;
+
+  // Fault-injection state (all empty / inert without an active plan).
+  // Crash schedules are per-node lifetime-round intervals, precomputed
+  // at construction so every thread count sees the same failure history;
+  // restart_events_ is the same schedule sorted by restart round so the
+  // route phase can wake restarting nodes without scanning all n.
+  bool fault_active_ = false;
+  std::vector<std::uint64_t> crash_at_;    // kRoundNever = never crashes
+  std::vector<std::uint64_t> restart_at_;  // kRoundNever = stays dead
+  std::vector<std::pair<std::uint64_t, NodeId>> restart_events_;
+  std::vector<char> respawn_pending_;  // restart observed; recreate process
+  std::vector<char> restart_cleared_;  // register already reset for restart
+  std::uint64_t lifetime_rounds_ = 0;
+  std::uint64_t fault_nonce_ = 0;  // decorrelates fault draws across runs
 
   std::unique_ptr<support::ThreadPool> pool_;  // created on first use
 };

@@ -1,0 +1,306 @@
+#include "congest/resilient.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/assert.hpp"
+#include "support/wire.hpp"
+
+namespace dmatch::congest {
+
+namespace {
+
+constexpr unsigned kVrBits = 20;
+constexpr unsigned kAckBits = 20;
+constexpr std::uint32_t kVrMax = (std::uint32_t{1} << kVrBits) - 1;
+
+void append_payload(BitWriter& w, const Message& msg) {
+  BitReader r = msg.reader();
+  while (r.remaining() > 0) {
+    const unsigned take = std::min(64u, r.remaining());
+    w.write(r.read(take), take);
+  }
+}
+
+Message read_payload(BitReader& r) {
+  BitWriter w;
+  while (r.remaining() > 0) {
+    const unsigned take = std::min(64u, r.remaining());
+    w.write(r.read(take), take);
+  }
+  return Message::from_writer(std::move(w));
+}
+
+/// Context handed to the wrapped process: identical to the real one
+/// except that time is the virtual-round clock and sends are captured
+/// for framing instead of hitting the wire directly.
+class ResilientContext final : public Context {
+ public:
+  ResilientContext(Context& real, int vround,
+                   std::vector<std::pair<bool, Message>>& out)
+      : real_(real), vround_(vround), out_(out) {}
+
+  [[nodiscard]] NodeId id() const override { return real_.id(); }
+  [[nodiscard]] int degree() const override { return real_.degree(); }
+  [[nodiscard]] NodeId neighbor_id(int port) const override {
+    return real_.neighbor_id(port);
+  }
+  [[nodiscard]] Weight edge_weight(int port) const override {
+    return real_.edge_weight(port);
+  }
+  [[nodiscard]] NodeId n_bound() const override { return real_.n_bound(); }
+  [[nodiscard]] int round() const override { return vround_; }
+  Rng& rng() override { return real_.rng(); }
+
+  void send(int port, Message msg) override {
+    DMATCH_EXPECTS(port >= 0 &&
+                   port < static_cast<int>(out_.size()));
+    DMATCH_EXPECTS(!out_[static_cast<std::size_t>(port)].first);
+    out_[static_cast<std::size_t>(port)] = {true, std::move(msg)};
+  }
+
+  [[nodiscard]] int mate_port() const override { return real_.mate_port(); }
+  void set_mate_port(int port) override { real_.set_mate_port(port); }
+  void clear_mate() override { real_.clear_mate(); }
+
+ private:
+  Context& real_;
+  int vround_;
+  std::vector<std::pair<bool, Message>>& out_;
+};
+
+}  // namespace
+
+ResilientProcess::ResilientProcess(std::unique_ptr<Process> inner, int degree,
+                                   ResilientOptions opts)
+    : inner_(std::move(inner)), opts_(opts) {
+  DMATCH_EXPECTS(inner_ != nullptr);
+  DMATCH_EXPECTS(degree >= 0);
+  ports_.resize(static_cast<std::size_t>(degree));
+  // A process born halted is never scheduled by the engine; it only ever
+  // wakes when a frame arrives, and then announces its halt reactively.
+  reactive_ = inner_->halted();
+  inner_halted_ = reactive_;
+}
+
+bool ResilientProcess::halted() const { return reactive_ || done_; }
+
+void ResilientProcess::absorb_frame(const Envelope& env) {
+  PortState& p = ports_[static_cast<std::size_t>(env.port)];
+  if (p.dead) return;
+  p.silence = 0;
+  BitReader r = env.msg.reader();
+  if (r.read_bool()) {
+    const auto ack = static_cast<std::uint32_t>(r.read(kAckBits));
+    while (!p.outq.empty() && p.outq.front().vr < ack) {
+      p.outq.pop_front();
+      p.since_tx = 0;
+      p.retries = 0;
+      p.timeout = opts_.ack_timeout;
+    }
+  }
+  if (!r.read_bool()) return;
+  const auto vr = static_cast<std::uint32_t>(r.read(kVrBits));
+  const bool halt = r.read_bool();
+  const bool has_payload = r.read_bool();
+  if (halt && !p.peer_halted) {
+    p.peer_halted = true;
+    p.peer_halt_vr = vr;
+  }
+  p.owe_ack = true;       // every data frame is (re-)acked
+  if (vr < p.next_vr) return;  // duplicate: discard, idempotent receive
+  // Accept. vr > next_vr only happens across a peer restart; skipping
+  // ahead keeps both sides progressing (the skipped vrounds were lost).
+  p.next_vr = vr + 1;
+  InFrame f;
+  f.vr = vr;
+  f.has_payload = has_payload;
+  if (has_payload) f.payload = read_payload(r);
+  p.inq.push_back(std::move(f));
+}
+
+bool ResilientProcess::can_advance() const {
+  if (inner_halted_) return false;
+  const std::uint32_t v = vround_;
+  if (v == 0) return true;  // round 0 consumes no input
+  for (const PortState& p : ports_) {
+    if (p.dead) continue;
+    if (!p.inq.empty()) continue;
+    if (p.peer_halted && v - 1 > p.peer_halt_vr) continue;  // silent by halt
+    return false;
+  }
+  return true;
+}
+
+void ResilientProcess::advance_inner(Context& ctx) {
+  const std::uint32_t v = vround_;
+  DMATCH_EXPECTS(v < kVrMax);
+  const auto deg = ports_.size();
+  inner_inbox_.clear();
+  if (v > 0) {
+    for (std::size_t port = 0; port < deg; ++port) {
+      PortState& p = ports_[port];
+      if (p.inq.empty()) continue;
+      InFrame f = std::move(p.inq.front());
+      p.inq.pop_front();
+      if (f.has_payload) {
+        inner_inbox_.push_back({static_cast<int>(port), std::move(f.payload)});
+      }
+    }
+  }
+  std::vector<std::pair<bool, Message>> outs(deg);
+  ResilientContext ictx(ctx, static_cast<int>(v), outs);
+  inner_->on_round(ictx, inner_inbox_);
+  vround_ = v + 1;
+  inner_halted_ = inner_->halted();
+  for (std::size_t port = 0; port < deg; ++port) {
+    PortState& p = ports_[port];
+    // Dead links get nothing; halted peers cannot change state anyway.
+    if (p.dead || p.peer_halted) continue;
+    OutFrame f;
+    f.vr = v;
+    f.halt = inner_halted_;
+    f.has_payload = outs[port].first;
+    if (f.has_payload) f.payload = std::move(outs[port].second);
+    p.outq.push_back(std::move(f));
+  }
+}
+
+void ResilientProcess::transmit(Context& ctx) {
+  const auto deg = ports_.size();
+  for (std::size_t port = 0; port < deg; ++port) {
+    PortState& p = ports_[port];
+    if (p.dead) continue;
+    if (p.peer_halted) p.outq.clear();
+    if (!p.outq.empty() && p.outq.front().txed) ++p.since_tx;
+    bool send_data = false;
+    bool is_retx = false;
+    if (!p.outq.empty()) {
+      const OutFrame& f = p.outq.front();
+      if (!f.txed) {
+        send_data = true;
+      } else if (p.since_tx >= p.timeout) {
+        if (p.retries >= opts_.max_retries) {
+          // Peer unresponsive: give the link up for dead.
+          p.dead = true;
+          p.outq.clear();
+          continue;
+        }
+        send_data = true;
+        is_retx = true;
+      }
+    }
+    if (!send_data && !p.owe_ack) continue;
+    BitWriter w;
+    w.write_bool(p.owe_ack);
+    if (p.owe_ack) w.write(p.next_vr, kAckBits);
+    w.write_bool(send_data);
+    if (send_data) {
+      OutFrame& f = p.outq.front();
+      w.write(f.vr, kVrBits);
+      w.write_bool(f.halt);
+      w.write_bool(f.has_payload);
+      if (f.has_payload) append_payload(w, f.payload);
+      f.txed = true;
+      if (is_retx) {
+        ++p.retries;
+        p.timeout = std::min(p.timeout * 2, opts_.max_timeout);
+      } else {
+        p.retries = 0;
+        p.timeout = opts_.ack_timeout;
+      }
+      p.since_tx = 0;
+    }
+    p.owe_ack = false;
+    ctx.send(static_cast<int>(port), Message::from_writer(std::move(w)));
+  }
+}
+
+void ResilientProcess::reactive_round(Context& ctx,
+                                      std::span<const Envelope> inbox) {
+  for (const Envelope& env : inbox) {
+    PortState& p = ports_[static_cast<std::size_t>(env.port)];
+    BitReader r = env.msg.reader();
+    if (r.read_bool()) r.read(kAckBits);  // acks need no reply
+    if (!r.read_bool()) continue;
+    const auto vr = static_cast<std::uint32_t>(r.read(kVrBits));
+    if (vr >= p.next_vr) p.next_vr = vr + 1;
+    // Combined ack + "halted since virtual round 0" announcement.
+    BitWriter w;
+    w.write_bool(true);
+    w.write(p.next_vr, kAckBits);
+    w.write_bool(true);
+    w.write(0, kVrBits);
+    w.write_bool(true);   // halt
+    w.write_bool(false);  // no payload
+    ctx.send(env.port, Message::from_writer(std::move(w)));
+  }
+}
+
+void ResilientProcess::post_done_round(Context& ctx,
+                                       std::span<const Envelope> inbox) {
+  // Our last frame is acked and our queues are empty; all that remains
+  // is re-acking peers whose view of us is behind (lost acks, restarts).
+  for (const Envelope& env : inbox) {
+    PortState& p = ports_[static_cast<std::size_t>(env.port)];
+    if (p.dead) continue;
+    BitReader r = env.msg.reader();
+    if (r.read_bool()) r.read(kAckBits);
+    if (!r.read_bool()) continue;
+    const auto vr = static_cast<std::uint32_t>(r.read(kVrBits));
+    if (vr >= p.next_vr) p.next_vr = vr + 1;
+    BitWriter w;
+    w.write_bool(true);
+    w.write(p.next_vr, kAckBits);
+    w.write_bool(false);
+    ctx.send(env.port, Message::from_writer(std::move(w)));
+  }
+}
+
+void ResilientProcess::on_round(Context& ctx,
+                                std::span<const Envelope> inbox) {
+  if (reactive_) {
+    reactive_round(ctx, inbox);
+    return;
+  }
+  if (done_) {
+    post_done_round(ctx, inbox);
+    return;
+  }
+  for (const Envelope& env : inbox) absorb_frame(env);
+  if (can_advance()) advance_inner(ctx);
+  transmit(ctx);
+  // Silence accounting: a port that blocks the next virtual round
+  // without ever delivering a frame is eventually written off.
+  if (!inner_halted_ && vround_ > 0) {
+    for (PortState& p : ports_) {
+      if (p.dead || !p.inq.empty()) continue;
+      if (p.peer_halted && vround_ - 1 > p.peer_halt_vr) continue;
+      if (++p.silence > opts_.silence_limit) p.dead = true;
+    }
+  }
+  if (inner_halted_) {
+    done_ = true;
+    for (const PortState& p : ports_) {
+      if (!p.dead && !p.outq.empty()) {
+        done_ = false;
+        break;
+      }
+    }
+  }
+}
+
+ProcessFactory resilient_factory(ProcessFactory inner, ResilientOptions opts) {
+  return [inner = std::move(inner), opts](NodeId v, const Graph& g) {
+    return std::make_unique<ResilientProcess>(inner(v, g), g.degree(v), opts);
+  };
+}
+
+int resilient_round_budget(int inner_budget) {
+  if (inner_budget <= 0) return 128;
+  const long long budget = 8LL * inner_budget + 128;
+  return budget > 1'000'000'000LL ? 1'000'000'000
+                                  : static_cast<int>(budget);
+}
+
+}  // namespace dmatch::congest

@@ -1,0 +1,127 @@
+// Reliable-delivery wrapper for synchronous CONGEST processes.
+//
+// ResilientProcess runs any congest::Process over lossy links by
+// simulating its rounds as *virtual rounds* of a per-link ARQ protocol,
+// in the spirit of the alpha synchronizer (congest/async.hpp) but built
+// for an adversarial engine: messages may be dropped, duplicated,
+// delayed or reordered (congest/fault.hpp), and neighbors may crash.
+//
+// Per real round and per port the wrapper sends at most one *frame*
+// combining a cumulative ack with the current data payload:
+//
+//   ack_flag(1) [ack_count(20)]
+//   data_flag(1) [vround(20) halt(1) has_payload(1) payload...]
+//
+// i.e. at most 44 header bits on top of the wrapped payload — within the
+// CONGEST cap for every protocol in this repository (see PROTOCOLS.md).
+// Data frames use stop-and-wait per port: frame V+1 is withheld until V
+// is acked, retransmitting on a doubling timeout. Receive is idempotent
+// (frames below the cumulative counter are re-acked and discarded), so
+// duplicates and reordering are absorbed. The inner process advances to
+// virtual round V+1 only when every port has either delivered its
+// vround-V frame, announced halt at an earlier vround, or been declared
+// dead (retransmissions exhausted, or prolonged silence while blocking).
+//
+// Guarantees: with an inactive FaultPlan the wrapped protocol computes
+// exactly the fault-free matching (the inner process sees identical
+// inboxes and RNG draws, two real rounds per virtual round); under
+// message faults without crashes it still computes that matching unless
+// a link is falsely declared dead; under crashes it degrades gracefully
+// — surviving nodes keep making progress and the Network's register
+// healing restores a valid matching.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "congest/message.hpp"
+#include "congest/network.hpp"
+#include "congest/process.hpp"
+#include "graph/graph.hpp"
+
+namespace dmatch::congest {
+
+struct ResilientOptions {
+  /// Real rounds to wait for an ack before the first retransmission;
+  /// doubles per retry up to max_timeout.
+  int ack_timeout = 3;
+  int max_timeout = 48;
+  /// Retransmissions of one frame before the port is declared dead.
+  int max_retries = 12;
+  /// Real rounds a port may block the virtual round without delivering
+  /// any frame before it is declared dead. Catches live-but-mute peers
+  /// (their data always lost while our frames are acked).
+  int silence_limit = 96;
+};
+
+class ResilientProcess final : public Process {
+ public:
+  ResilientProcess(std::unique_ptr<Process> inner, int degree,
+                   ResilientOptions opts);
+
+  void on_round(Context& ctx, std::span<const Envelope> inbox) override;
+  [[nodiscard]] bool halted() const override;
+
+ private:
+  struct OutFrame {
+    Message payload;
+    bool has_payload = false;
+    bool halt = false;  // sender's last frame: treat later vrounds as empty
+    bool txed = false;
+    std::uint32_t vr = 0;
+  };
+  struct InFrame {
+    Message payload;
+    bool has_payload = false;
+    std::uint32_t vr = 0;
+  };
+  struct PortState {
+    // Sender side. front() is the in-flight frame (stop-and-wait); later
+    // entries wait their turn. The queue stays shallow — a peer cannot
+    // run more than a couple of virtual rounds ahead of its slowest link.
+    std::deque<OutFrame> outq;
+    int since_tx = 0;  // real rounds since front() last went out
+    int timeout = 0;
+    int retries = 0;
+    // Receiver side: frames accepted (acked) but not yet consumed by the
+    // inner process — acks precede consumption when another port blocks.
+    std::deque<InFrame> inq;
+    std::uint32_t next_vr = 0;  // cumulative frames accepted == ack value
+    bool owe_ack = false;
+    int silence = 0;  // rounds this port has blocked without any frame
+    // Link status.
+    bool peer_halted = false;
+    std::uint32_t peer_halt_vr = 0;  // peer sends nothing at vr > this
+    bool dead = false;
+  };
+
+  void absorb_frame(const Envelope& env);
+  [[nodiscard]] bool can_advance() const;
+  void advance_inner(Context& ctx);
+  void transmit(Context& ctx);
+  void reactive_round(Context& ctx, std::span<const Envelope> inbox);
+  void post_done_round(Context& ctx, std::span<const Envelope> inbox);
+
+  std::unique_ptr<Process> inner_;
+  ResilientOptions opts_;
+  std::vector<PortState> ports_;
+  std::uint32_t vround_ = 0;  // virtual rounds the inner has executed
+  bool inner_halted_ = false;
+  bool reactive_ = false;  // inner was born halted: only ever respond
+  bool done_ = false;
+  std::vector<Envelope> inner_inbox_;  // scratch for the inner context
+};
+
+/// Wrap a factory so every node runs its process under ResilientProcess.
+[[nodiscard]] ProcessFactory resilient_factory(ProcessFactory inner,
+                                               ResilientOptions opts = {});
+
+/// Real-round budget for a protocol whose fault-free budget is
+/// `inner_budget` virtual rounds: two real rounds per virtual round in
+/// the steady state, with headroom for retransmission backoff.
+[[nodiscard]] int resilient_round_budget(int inner_budget);
+
+}  // namespace dmatch::congest

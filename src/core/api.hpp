@@ -25,10 +25,14 @@
 
 namespace dmatch {
 
-/// Israeli-Itai maximal matching on a fresh network over g.
-inline IsraeliItaiResult maximal_matching(const Graph& g, std::uint64_t seed,
-                                          std::uint32_t congest_factor = 48) {
-  congest::Network net(g, congest::Model::kCongest, seed, congest_factor);
+/// Israeli-Itai maximal matching on a fresh network over g. Pass
+/// net_options to pick the engine's thread count or to inject faults
+/// (the driver then degrades gracefully, see IsraeliItaiResult).
+inline IsraeliItaiResult maximal_matching(
+    const Graph& g, std::uint64_t seed, std::uint32_t congest_factor = 48,
+    const congest::Network::Options& net_options = {}) {
+  congest::Network net(g, congest::Model::kCongest, seed, congest_factor,
+                       net_options);
   return israeli_itai(net);
 }
 
@@ -38,10 +42,12 @@ inline IsraeliItaiResult maximal_matching(const Graph& g, std::uint64_t seed,
 /// workloads the coloring is part of the input.)
 inline BipartiteMcmResult approx_mcm_bipartite(
     const Graph& g, std::uint64_t seed, const BipartiteMcmOptions& options = {},
-    std::uint32_t congest_factor = 48) {
+    std::uint32_t congest_factor = 48,
+    const congest::Network::Options& net_options = {}) {
   const auto side = g.bipartition();
   DMATCH_EXPECTS(side.has_value());
-  congest::Network net(g, congest::Model::kCongest, seed, congest_factor);
+  congest::Network net(g, congest::Model::kCongest, seed, congest_factor,
+                       net_options);
   return bipartite_mcm(net, *side, options);
 }
 

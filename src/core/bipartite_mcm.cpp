@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 
+#include "congest/resilient.hpp"
 #include "graph/augmenting.hpp"
 #include "support/sat_count.hpp"
 #include "support/wire.hpp"
@@ -289,9 +290,72 @@ congest::RunStats run_augment_iteration(congest::Network& net,
   return net.run(augment_iteration_factory(side, ell), 3 * ell + 4);
 }
 
+namespace {
+
+/// One augment iteration under the resilient link layer. Exceptions from
+/// mid-protocol inconsistencies (a lost message can violate the protocol's
+/// internal asserts) are downgraded to a degradation flag; registers are
+/// healed afterwards so the network is safe to extract from or to run the
+/// next iteration on.
+congest::RunStats run_resilient_iteration(
+    congest::Network& net, const std::vector<std::uint8_t>& side, int ell,
+    congest::DegradationReport& degradation) {
+  congest::RunStats stats;
+  try {
+    stats = net.run(
+        congest::resilient_factory(augment_iteration_factory(side, ell)),
+        congest::resilient_round_budget(3 * ell + 4));
+    degradation.budget_exhausted |= !stats.completed;
+  } catch (const ContractViolation&) {
+    degradation.contract_tripped = true;
+  } catch (const congest::MessageTooLarge&) {
+    degradation.contract_tripped = true;
+  }
+  net.heal_registers(&degradation);
+  return stats;
+}
+
+PhaseResult run_phase_degraded(congest::Network& net,
+                               const std::vector<std::uint8_t>& side, int ell,
+                               const PhaseOptions& options) {
+  PhaseResult result;
+  const Graph& g = net.graph();
+
+  // Under faults an iteration may be unproductive -- or shrink the matching
+  // when torn registers get healed -- so the fault-free "every iteration
+  // augments" argument no longer bounds the loop; a patience counter does.
+  constexpr int kFaultPatience = 8;
+  const bool adaptive =
+      options.termination == PhaseOptions::Termination::kAdaptiveOracle;
+  const int cap = g.node_count() + 2;
+  int stale = 0;
+  for (int i = 0; i < cap && stale < kFaultPatience; ++i) {
+    net.heal_registers(&result.degradation);
+    const Matching m = net.extract_matching();
+    if (adaptive) {
+      const auto shortest =
+          bipartite_shortest_augmenting_path_length(g, side, m);
+      if (!shortest.has_value() || *shortest > ell) break;
+    }
+    result.stats.merge(
+        run_resilient_iteration(net, side, ell, result.degradation));
+    ++result.iterations;
+    if (net.extract_matching().size() > m.size()) {
+      stale = 0;
+    } else {
+      ++stale;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
 PhaseResult run_phase(congest::Network& net,
                       const std::vector<std::uint8_t>& side, int ell,
                       const PhaseOptions& options) {
+  if (net.fault_active()) return run_phase_degraded(net, side, ell, options);
+
   PhaseResult result;
   const Graph& g = net.graph();
 
@@ -335,9 +399,11 @@ BipartiteMcmResult bipartite_mcm(congest::Network& net,
   for (int ell = 1; ell <= 2 * options.k - 1; ell += 2) {
     PhaseResult pr = run_phase(net, side, ell, options.phase);
     result.stats.merge(pr.stats);
+    result.degradation.merge(pr.degradation);
     result.iterations += pr.iterations;
     ++result.phases;
   }
+  if (net.fault_active()) net.heal_registers(&result.degradation);
   result.matching = net.extract_matching();
   return result;
 }

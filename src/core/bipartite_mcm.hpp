@@ -44,6 +44,7 @@ struct BipartiteMcmOptions {
 struct PhaseResult {
   int iterations = 0;
   congest::RunStats stats;
+  congest::DegradationReport degradation;  // only set under a FaultPlan
 };
 
 struct BipartiteMcmResult {
@@ -51,6 +52,11 @@ struct BipartiteMcmResult {
   congest::RunStats stats;
   int phases = 0;
   int iterations = 0;  // total augment iterations over all phases
+  /// What was given up when net carries an active FaultPlan (all-false
+  /// otherwise): iterations run under the resilient wrapper, registers
+  /// are healed between iterations, and a patience counter replaces the
+  /// fault-free "every iteration augments" termination argument.
+  congest::DegradationReport degradation;
 };
 
 /// Test/debug instrumentation: run one augment iteration while recording

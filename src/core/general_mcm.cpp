@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 
+#include "congest/resilient.hpp"
 #include "graph/augmenting.hpp"
 #include "support/wire.hpp"
 
@@ -110,8 +111,10 @@ GeneralMcmResult general_mcm(const Graph& g, const GeneralMcmOptions& options) {
   GeneralMcmResult result;
   result.matching = Matching(g.node_count());
 
+  const bool faulty = options.fault.any();
   congest::Network main_net(g, congest::Model::kCongest, options.seed,
-                            options.congest_factor);
+                            options.congest_factor,
+                            {options.num_threads, options.fault});
   Rng driver_rng(options.seed ^ 0xa5a5a5a5a5a5a5a5ULL);
 
   int budget = options.max_iterations > 0 ? options.max_iterations
@@ -125,12 +128,31 @@ GeneralMcmResult general_mcm(const Graph& g, const GeneralMcmOptions& options) {
     std::vector<std::uint8_t> color(static_cast<std::size_t>(g.node_count()),
                                     0);
     std::vector<char> edge_in(static_cast<std::size_t>(g.edge_count()), false);
-    result.stats.merge(main_net.run(
-        [&color, &edge_in](NodeId v, const Graph& graph) {
-          return std::make_unique<ColorSampleProcess>(v, graph, color,
-                                                      edge_in);
-        },
-        8));
+    congest::ProcessFactory sample_factory =
+        [&color, &edge_in](NodeId v, const Graph& graph)
+        -> std::unique_ptr<congest::Process> {
+      return std::make_unique<ColorSampleProcess>(v, graph, color, edge_in);
+    };
+    if (faulty) {
+      try {
+        const congest::RunStats stats =
+            main_net.run(congest::resilient_factory(std::move(sample_factory)),
+                         congest::resilient_round_budget(8));
+        result.degradation.budget_exhausted |= !stats.completed;
+        result.stats.merge(stats);
+      } catch (const ContractViolation&) {
+        result.degradation.contract_tripped = true;
+      } catch (const congest::MessageTooLarge&) {
+        result.degradation.contract_tripped = true;
+      }
+      // Healing clears registers at (or pointing at) crashed nodes, so
+      // re-extracting doubles as the dead-edge sweep: a live node whose
+      // mate crashed becomes free again and can rematch below.
+      main_net.heal_registers(&result.degradation);
+      result.matching = main_net.extract_matching();
+    } else {
+      result.stats.merge(main_net.run(std::move(sample_factory), 8));
+    }
 
     // Recover E^ membership from the collected colors and the current
     // matching (identical to what each node computed locally).
@@ -148,18 +170,48 @@ GeneralMcmResult general_mcm(const Graph& g, const GeneralMcmOptions& options) {
           color[static_cast<std::size_t>(ed.u)] !=
               color[static_cast<std::size_t>(ed.v)] &&
           in_vhat(ed.u) && in_vhat(ed.v);
-      // The nodes' own distributed view of E^ must agree.
-      DMATCH_ASSERT(keep[static_cast<std::size_t>(e)] ==
-                    (edge_in[static_cast<std::size_t>(e)] != 0));
+      if (faulty) {
+        // Crashed nodes cannot take part in G^, and a lossy color round
+        // means the distributed view may disagree with the host's -- the
+        // host view is authoritative (the nodes of G^ are re-seeded with
+        // it below), so the mirror assert only applies fault-free.
+        keep[static_cast<std::size_t>(e)] =
+            keep[static_cast<std::size_t>(e)] &&
+            !main_net.node_dead(ed.u) && !main_net.node_dead(ed.v);
+      } else {
+        // The nodes' own distributed view of E^ must agree.
+        DMATCH_ASSERT(keep[static_cast<std::size_t>(e)] ==
+                      (edge_in[static_cast<std::size_t>(e)] != 0));
+      }
       any = any || keep[static_cast<std::size_t>(e)];
     }
 
-    std::size_t gained = 0;
+    std::ptrdiff_t gained = 0;
     if (any) {
       // Stage 2: Aug(G^, M, 2k-1) -- the bipartite phase loop on G^.
       Graph::Subgraph sub = g.edge_subgraph(keep);
+      congest::Network::Options hat_opts;
+      hat_opts.num_threads = options.num_threads;
+      if (faulty) {
+        // The Aug networks keep suffering message faults (fresh derived
+        // seed per iteration) and inherit the main network's casualties as
+        // scheduled crashes; new crash draws stay with the main network so
+        // the overall casualty rate tracks the plan.
+        hat_opts.fault = options.fault;
+        hat_opts.fault.crash_prob = 0.0;
+        hat_opts.fault.restart_prob = 0.0;
+        hat_opts.fault.crashes.clear();
+        hat_opts.fault.seed = congest::fault_detail::mix(
+            options.fault.seed, 0x9a75u, static_cast<std::uint64_t>(iter), 0);
+        for (NodeId v = 0; v < g.node_count(); ++v) {
+          if (main_net.node_dead(v)) {
+            hat_opts.fault.crashes.push_back({v, 0, congest::kRoundNever});
+          }
+        }
+      }
       congest::Network hat_net(sub.graph, congest::Model::kCongest,
-                               driver_rng(), options.congest_factor);
+                               driver_rng(), options.congest_factor,
+                               hat_opts);
       // Install M ^ E^ on the subgraph's registers.
       Matching m_hat(g.node_count());
       for (std::size_t i = 0; i < sub.original_edge.size(); ++i) {
@@ -175,6 +227,7 @@ GeneralMcmResult general_mcm(const Graph& g, const GeneralMcmOptions& options) {
       aug_options.phase = options.phase;
       BipartiteMcmResult aug = bipartite_mcm(hat_net, side, aug_options);
       result.stats.merge(aug.stats);
+      result.degradation.merge(aug.degradation);
 
       // Stage 3: merge back: M <- (M \ M^) union result.
       const std::size_t before = result.matching.size();
@@ -189,8 +242,11 @@ GeneralMcmResult general_mcm(const Graph& g, const GeneralMcmOptions& options) {
                             sub.original_edge[static_cast<std::size_t>(he)]);
       }
       DMATCH_ENSURES(result.matching.is_valid(g));
-      DMATCH_ENSURES(result.matching.size() >= before);
-      gained = result.matching.size() - before;
+      // A degraded Aug run can legitimately shrink M^ (healed tears), so
+      // monotonicity only holds fault-free.
+      DMATCH_ENSURES(faulty || result.matching.size() >= before);
+      gained = static_cast<std::ptrdiff_t>(result.matching.size()) -
+               static_cast<std::ptrdiff_t>(before);
       main_net.set_matching(result.matching);
     }
 
@@ -202,6 +258,10 @@ GeneralMcmResult general_mcm(const Graph& g, const GeneralMcmOptions& options) {
     }
     if (options.budget == GeneralMcmOptions::Budget::kAdaptive &&
         unproductive >= options.patience) {
+      // A path through a crashed node can never be realized, so under
+      // faults the oracle could keep the loop alive until the full paper
+      // budget; patience alone terminates it then.
+      if (faulty) break;
       // Before stopping early, confirm with the centralized oracle that no
       // augmenting path of length <= 2k-1 remains (cheap: interior matched
       // hops are forced, so the search branches ~Delta^k times). If one
@@ -214,6 +274,13 @@ GeneralMcmResult general_mcm(const Graph& g, const GeneralMcmOptions& options) {
     }
   }
 
+  if (faulty) {
+    // Final sweep: nodes may have crashed after the last stage ran, so
+    // heal once more and return the registers' (valid, survivor-only)
+    // matching.
+    main_net.heal_registers(&result.degradation);
+    result.matching = main_net.extract_matching();
+  }
   return result;
 }
 

@@ -31,6 +31,12 @@ struct GeneralMcmOptions {
   PhaseOptions phase;
   std::uint64_t seed = 1;
   std::uint32_t congest_factor = 48;
+  /// Worker count for the simulated networks (0 = hardware concurrency).
+  unsigned num_threads = 0;
+  /// Fault plan for the main network. Subsidiary Aug networks inherit the
+  /// message-fault probabilities (with a fresh derived seed per iteration)
+  /// and the nodes already dead on the main network as scheduled crashes.
+  congest::FaultPlan fault;
 };
 
 struct GeneralMcmResult {
@@ -38,6 +44,11 @@ struct GeneralMcmResult {
   congest::RunStats stats;
   int iterations = 0;
   int productive_iterations = 0;  // iterations that grew the matching
+  /// What was given up when options.fault is active (all-false otherwise):
+  /// protocol stages run under the resilient wrapper, registers are healed
+  /// between stages, and edges at crashed nodes are swept out, so the
+  /// returned matching is always valid over the surviving nodes.
+  congest::DegradationReport degradation;
 };
 
 /// Paper iteration budget ceil(2^(2k+1) * (k+1) * ln k), clamped to int.

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 
+#include "congest/resilient.hpp"
 #include "core/wrap_gain.hpp"
 #include "support/wire.hpp"
 
@@ -95,6 +96,26 @@ class ApplyWrapsProcess final : public Process {
   bool halted_ = false;
 };
 
+/// Fault-mode stage runner: wrap the factory in the resilient link layer,
+/// downgrade contract trips to a degradation flag, heal afterwards.
+congest::RunStats run_stage_degraded(congest::Network& net,
+                                     congest::ProcessFactory factory,
+                                     int budget,
+                                     congest::DegradationReport& degradation) {
+  congest::RunStats stats;
+  try {
+    stats = net.run(congest::resilient_factory(std::move(factory)),
+                    congest::resilient_round_budget(budget));
+    degradation.budget_exhausted |= !stats.completed;
+  } catch (const ContractViolation&) {
+    degradation.contract_tripped = true;
+  } catch (const congest::MessageTooLarge&) {
+    degradation.contract_tripped = true;
+  }
+  net.heal_registers(&degradation);
+  return stats;
+}
+
 }  // namespace
 
 int half_mwm_iteration_budget(double delta, double epsilon) {
@@ -121,8 +142,10 @@ HalfMwmResult half_mwm(const Graph& g, const HalfMwmOptions& options) {
                          ? options.max_iterations_override
                          : half_mwm_iteration_budget(delta, options.epsilon);
 
+  const bool faulty = options.fault.any();
   congest::Network main_net(g, congest::Model::kCongest, options.seed,
-                            options.congest_factor);
+                            options.congest_factor,
+                            {options.num_threads, options.fault});
   Rng driver_rng(options.seed ^ 0x5ee5ee5ee5ee5eeULL);
 
   for (int iter = 0; iter < budget; ++iter) {
@@ -130,11 +153,20 @@ HalfMwmResult half_mwm(const Graph& g, const HalfMwmOptions& options) {
 
     // Stage 1: gain exchange (1 round of 64-bit weights).
     main_net.set_matching(result.matching);
-    result.stats.merge(main_net.run(
-        [](NodeId, const Graph&) {
-          return std::make_unique<GainExchangeProcess>();
-        },
-        4));
+    congest::ProcessFactory gain_factory =
+        [](NodeId, const Graph&) -> std::unique_ptr<congest::Process> {
+      return std::make_unique<GainExchangeProcess>();
+    };
+    if (faulty) {
+      result.stats.merge(run_stage_degraded(main_net, std::move(gain_factory),
+                                            4, result.degradation));
+      // Healing clears registers at (or pointing at) crashed nodes;
+      // re-extracting doubles as the dead-edge sweep, so the freed
+      // partners show up as positive-gain candidates below.
+      result.matching = main_net.extract_matching();
+    } else {
+      result.stats.merge(main_net.run(std::move(gain_factory), 4));
+    }
 
     // Stage 2: black-box delta-MWM on the positive-gain subgraph.
     const std::vector<Weight> gains = gain_weights(g, result.matching);
@@ -143,6 +175,14 @@ HalfMwmResult half_mwm(const Graph& g, const HalfMwmOptions& options) {
     for (EdgeId e = 0; e < g.edge_count(); ++e) {
       keep[static_cast<std::size_t>(e)] =
           gains[static_cast<std::size_t>(e)] > 0;
+      if (faulty) {
+        // Crashed nodes cannot rematch: keep their edges out of the gain
+        // graph so the (fault-free) black box never proposes them.
+        const Edge& ed = g.edge(e);
+        keep[static_cast<std::size_t>(e)] =
+            keep[static_cast<std::size_t>(e)] &&
+            !main_net.node_dead(ed.u) && !main_net.node_dead(ed.v);
+      }
       any = any || keep[static_cast<std::size_t>(e)];
     }
     if (!any) {
@@ -187,26 +227,46 @@ HalfMwmResult half_mwm(const Graph& g, const HalfMwmOptions& options) {
       new_mate_port[static_cast<std::size_t>(ed.u)] = g.port_of_edge(ed.u, e);
       new_mate_port[static_cast<std::size_t>(ed.v)] = g.port_of_edge(ed.v, e);
     }
-    result.stats.merge(main_net.run(
-        [&new_mate_port](NodeId v, const Graph&) {
-          return std::make_unique<ApplyWrapsProcess>(
-              new_mate_port[static_cast<std::size_t>(v)]);
-        },
-        4));
+    congest::ProcessFactory wrap_factory =
+        [&new_mate_port](NodeId v,
+                         const Graph&) -> std::unique_ptr<congest::Process> {
+      return std::make_unique<ApplyWrapsProcess>(
+          new_mate_port[static_cast<std::size_t>(v)]);
+    };
+    if (faulty) {
+      // A dropped DROP notification leaves the old mate pointing at a
+      // repointed node: exactly the torn-register shape heal_registers
+      // clears, so the extraction below is always a valid matching. The
+      // Lemma 4.1 equality/weight-gain checks only bind for the wraps
+      // that survived, so they are skipped.
+      result.stats.merge(run_stage_degraded(main_net, std::move(wrap_factory),
+                                            4, result.degradation));
+      result.matching = main_net.extract_matching();
+    } else {
+      result.stats.merge(main_net.run(std::move(wrap_factory), 4));
 
-    const Matching updated = main_net.extract_matching();
-    // Lemma 4.1 checks: the registers form a matching (extract_matching
-    // validated) that agrees with the centralized wrap application and
-    // gained at least w_M(M').
-    const Matching reference = apply_wraps(g, result.matching, m_prime);
-    DMATCH_ASSERT(updated == reference);
-    double gain_mprime = 0;
-    for (EdgeId e : m_prime) gain_mprime += gains[static_cast<std::size_t>(e)];
-    DMATCH_ASSERT(updated.weight(g) >=
-                  result.matching.weight(g) + gain_mprime - 1e-6);
-    result.matching = updated;
+      const Matching updated = main_net.extract_matching();
+      // Lemma 4.1 checks: the registers form a matching (extract_matching
+      // validated) that agrees with the centralized wrap application and
+      // gained at least w_M(M').
+      const Matching reference = apply_wraps(g, result.matching, m_prime);
+      DMATCH_ASSERT(updated == reference);
+      double gain_mprime = 0;
+      for (EdgeId e : m_prime)
+        gain_mprime += gains[static_cast<std::size_t>(e)];
+      DMATCH_ASSERT(updated.weight(g) >=
+                    result.matching.weight(g) + gain_mprime - 1e-6);
+      result.matching = updated;
+    }
   }
 
+  if (faulty) {
+    // Nodes may have crashed during the last stage: heal once more and
+    // return the registers' (valid, survivor-only) matching.
+    main_net.set_matching(result.matching);
+    main_net.heal_registers(&result.degradation);
+    result.matching = main_net.extract_matching();
+  }
   return result;
 }
 

@@ -38,6 +38,15 @@ struct HalfMwmOptions {
   std::uint64_t seed = 1;
   std::uint32_t congest_factor = 48;
   DeltaMwmOptions box_options;
+  /// Worker count for the main simulated network (0 = hardware
+  /// concurrency).
+  unsigned num_threads = 0;
+  /// Fault plan for the main network (gain exchange + wrap application).
+  /// The delta-MWM black box runs fault-free on its private gain graph —
+  /// a documented simplification; crashed nodes are still excluded from
+  /// it, and every wrap the faults tear is healed before the next
+  /// iteration.
+  congest::FaultPlan fault;
 };
 
 struct HalfMwmResult {
@@ -45,6 +54,10 @@ struct HalfMwmResult {
   congest::RunStats stats;
   int iterations = 0;
   double guarantee = 0;  // the proven lower bound (1/2 - eps) given delta
+  /// What was given up when options.fault is active (all-false otherwise).
+  /// The weight-gain guarantee of Lemma 4.1 only holds for the wraps that
+  /// survived; the matching itself is always valid over surviving nodes.
+  congest::DegradationReport degradation;
 };
 
 /// Iteration count ceil((3 / (2 delta)) * ln(2 / eps)).

@@ -1,7 +1,9 @@
 #include "core/israeli_itai.hpp"
 
+#include <algorithm>
 #include <memory>
 
+#include "congest/resilient.hpp"
 #include "support/wire.hpp"
 
 namespace dmatch {
@@ -135,8 +137,30 @@ congest::ProcessFactory israeli_itai_factory(IsraeliItaiOptions options) {
 IsraeliItaiResult israeli_itai(congest::Network& net,
                                const IsraeliItaiOptions& options) {
   IsraeliItaiResult result;
-  result.stats =
-      net.run(israeli_itai_factory(options), options.max_rounds);
+  if (!net.fault_active()) {
+    result.stats =
+        net.run(israeli_itai_factory(options), options.max_rounds);
+    result.matching = net.extract_matching();
+    return result;
+  }
+
+  // Fault mode: run under the resilient link layer with a watchdog
+  // budget. A free node whose only eligible neighbors sit behind dead
+  // links never learns it should halt, so budget exhaustion is a normal
+  // degraded outcome, not an error; healing afterwards guarantees the
+  // extracted matching is valid over the surviving nodes.
+  const int watchdog = congest::resilient_round_budget(
+      std::min(options.max_rounds, 4096));
+  try {
+    result.stats = net.run(
+        congest::resilient_factory(israeli_itai_factory(options)), watchdog);
+    result.degradation.budget_exhausted = !result.stats.completed;
+  } catch (const ContractViolation&) {
+    result.degradation.contract_tripped = true;
+  } catch (const congest::MessageTooLarge&) {
+    result.degradation.contract_tripped = true;
+  }
+  net.heal_registers(&result.degradation);
   result.matching = net.extract_matching();
   return result;
 }

@@ -30,6 +30,11 @@ struct IsraeliItaiOptions {
 struct IsraeliItaiResult {
   Matching matching;
   congest::RunStats stats;
+  /// What was given up when net carries an active FaultPlan (all-false
+  /// otherwise): the driver then runs the protocol under the resilient
+  /// wrapper with a watchdog budget and self-heals the registers, so the
+  /// matching is always valid over the surviving nodes.
+  congest::DegradationReport degradation;
 };
 
 /// Node-program factory for the protocol (used directly by the

@@ -1,0 +1,68 @@
+#include "core/verify.hpp"
+
+#include <vector>
+
+#include "graph/blossom.hpp"
+#include "graph/hopcroft_karp.hpp"
+
+namespace dmatch {
+
+std::string MatchingInvariantReport::summary() const {
+  std::string s = valid ? "valid" : "INVALID";
+  s += respects_crashes ? ", respects crashes" : ", MATCHED DEAD NODES";
+  s += " (|M| = " + std::to_string(size);
+  if (optimal_size > 0) {
+    s += ", |M*| = " + std::to_string(optimal_size) +
+         ", ratio = " + std::to_string(ratio);
+  }
+  s += ")";
+  return s;
+}
+
+MatchingInvariantReport verify_matching_invariants(const Graph& g,
+                                                   const Matching& m,
+                                                   const congest::Network* net,
+                                                   bool compute_ratio) {
+  MatchingInvariantReport report;
+  report.valid = m.node_count() == g.node_count() && m.is_valid(g);
+  report.size = m.size();
+  if (report.valid) report.weight = m.weight(g);
+
+  std::vector<char> dead(static_cast<std::size_t>(g.node_count()), 0);
+  if (net != nullptr && net->fault_active()) {
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      dead[static_cast<std::size_t>(v)] = net->node_dead(v) ? 1 : 0;
+    }
+  }
+  report.respects_crashes = true;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (dead[static_cast<std::size_t>(v)] && !m.is_free(v)) {
+      ++report.matched_dead_nodes;
+      report.respects_crashes = false;
+    }
+  }
+
+  if (compute_ratio) {
+    // Optimum over the surviving subgraph: edges with a dead endpoint are
+    // unmatchable for any fault-tolerant algorithm.
+    std::vector<char> keep(static_cast<std::size_t>(g.edge_count()), 0);
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      const Edge& ed = g.edge(e);
+      keep[static_cast<std::size_t>(e)] =
+          !dead[static_cast<std::size_t>(ed.u)] &&
+          !dead[static_cast<std::size_t>(ed.v)];
+    }
+    Graph::Subgraph sub = g.edge_subgraph(keep);
+    const auto side = sub.graph.bipartition();
+    const Matching opt = side.has_value() ? hopcroft_karp(sub.graph, *side)
+                                          : blossom_mcm(sub.graph);
+    report.optimal_size = opt.size();
+    report.ratio = report.optimal_size == 0
+                       ? 1.0
+                       : static_cast<double>(report.size) /
+                             static_cast<double>(report.optimal_size);
+  }
+  return report;
+}
+
+}  // namespace dmatch

@@ -1,0 +1,52 @@
+// Post-run invariant checking for (possibly degraded) matchings.
+//
+// verify_matching_invariants is the single gate the fault tests, the
+// torture suite and bench_fault_ratio all go through: whatever a fault
+// plan did to a run, the returned matching must still be a matching, must
+// not claim an edge at a crashed node, and its measured approximation
+// ratio against the exact sequential solvers is reported so degradation
+// can be quantified rather than hand-waved.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "congest/network.hpp"
+#include "graph/graph.hpp"
+#include "graph/matching.hpp"
+
+namespace dmatch {
+
+struct MatchingInvariantReport {
+  /// Structural validity: every matched edge exists, registers are
+  /// pairwise consistent, no node is covered twice.
+  bool valid = false;
+  /// No matched edge is incident to a node dead in `net` (vacuously true
+  /// when no network / no fault plan is given).
+  bool respects_crashes = false;
+  std::uint64_t matched_dead_nodes = 0;
+
+  std::size_t size = 0;
+  double weight = 0;
+
+  /// Filled when compute_ratio: |M*| from Hopcroft-Karp (bipartite
+  /// graphs) or the blossom solver, over the *surviving* subgraph —
+  /// crashed nodes cannot be matched by any fault-tolerant algorithm, so
+  /// the fair denominator excludes them.
+  std::size_t optimal_size = 0;
+  double ratio = 1.0;  // size / optimal_size (1.0 when optimal is 0)
+
+  [[nodiscard]] bool ok() const { return valid && respects_crashes; }
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Check m against g. If `net` is given, its crash schedule defines the
+/// dead nodes; if `compute_ratio` is set, the exact optimum over the
+/// surviving subgraph is computed (bipartite solver when the graph is
+/// 2-colorable, blossom otherwise).
+MatchingInvariantReport verify_matching_invariants(
+    const Graph& g, const Matching& m,
+    const congest::Network* net = nullptr, bool compute_ratio = false);
+
+}  // namespace dmatch

@@ -1,0 +1,394 @@
+// Fault-injection subsystem: an inactive FaultPlan must leave the engine
+// byte-identical, an active plan must be bit-identical across thread
+// counts, every fault class must be observable in the RunStats counters,
+// the resilient link layer must mask message faults, and every driver
+// must degrade to a valid matching over the surviving nodes.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "congest/fault.hpp"
+#include "congest/network.hpp"
+#include "congest/resilient.hpp"
+#include "core/bipartite_mcm.hpp"
+#include "core/general_mcm.hpp"
+#include "core/half_mwm.hpp"
+#include "core/israeli_itai.hpp"
+#include "core/verify.hpp"
+#include "graph/generators.hpp"
+#include "support/wire.hpp"
+
+namespace dmatch {
+namespace {
+
+using congest::CrashEvent;
+using congest::DegradationReport;
+using congest::FaultPlan;
+using congest::kRoundNever;
+using congest::Model;
+using congest::Network;
+using congest::RunStats;
+
+const unsigned kThreadCounts[] = {1, 2, 8};
+
+FaultPlan lossy_plan(std::uint64_t seed) {
+  FaultPlan plan;
+  plan.drop_prob = 0.05;
+  plan.duplicate_prob = 0.05;
+  plan.delay_prob = 0.1;
+  plan.max_delay = 3;
+  plan.reorder_prob = 0.2;
+  plan.seed = seed;
+  return plan;
+}
+
+FaultPlan harsh_plan(std::uint64_t seed) {
+  FaultPlan plan = lossy_plan(seed);
+  plan.crash_prob = 0.05;
+  plan.restart_prob = 0.5;
+  plan.crash_round_bound = 32;
+  plan.restart_delay = 6;
+  return plan;
+}
+
+void expect_same_stats(const RunStats& a, const RunStats& b,
+                       unsigned threads) {
+  EXPECT_EQ(a.rounds, b.rounds) << "threads=" << threads;
+  EXPECT_EQ(a.messages, b.messages) << "threads=" << threads;
+  EXPECT_EQ(a.total_bits, b.total_bits) << "threads=" << threads;
+  EXPECT_EQ(a.max_message_bits, b.max_message_bits) << "threads=" << threads;
+  EXPECT_EQ(a.completed, b.completed) << "threads=" << threads;
+  EXPECT_EQ(a.round_messages, b.round_messages) << "threads=" << threads;
+  EXPECT_EQ(a.dropped_messages, b.dropped_messages) << "threads=" << threads;
+  EXPECT_EQ(a.duplicated_messages, b.duplicated_messages)
+      << "threads=" << threads;
+  EXPECT_EQ(a.delayed_messages, b.delayed_messages) << "threads=" << threads;
+  EXPECT_EQ(a.reordered_inboxes, b.reordered_inboxes)
+      << "threads=" << threads;
+  EXPECT_EQ(a.crashed_nodes, b.crashed_nodes) << "threads=" << threads;
+  EXPECT_EQ(a.restarted_nodes, b.restarted_nodes) << "threads=" << threads;
+}
+
+void expect_same_degradation(const DegradationReport& a,
+                             const DegradationReport& b, unsigned threads) {
+  EXPECT_EQ(a.budget_exhausted, b.budget_exhausted) << "threads=" << threads;
+  EXPECT_EQ(a.contract_tripped, b.contract_tripped) << "threads=" << threads;
+  EXPECT_EQ(a.crashed_nodes, b.crashed_nodes) << "threads=" << threads;
+  EXPECT_EQ(a.torn_registers_healed, b.torn_registers_healed)
+      << "threads=" << threads;
+  EXPECT_EQ(a.dead_registers_healed, b.dead_registers_healed)
+      << "threads=" << threads;
+}
+
+TEST(FaultPlanBasics, DefaultPlanIsInactive) {
+  EXPECT_FALSE(FaultPlan{}.any());
+  FaultPlan drops;
+  drops.drop_prob = 0.01;
+  EXPECT_TRUE(drops.any());
+  FaultPlan scheduled;
+  scheduled.crashes.push_back({0, 3, kRoundNever});
+  EXPECT_TRUE(scheduled.any());
+}
+
+TEST(FaultPlanBasics, InactivePlanIsByteIdenticalToNoPlan) {
+  // Acceptance gate: Options with a default FaultPlan must reproduce the
+  // fault-free engine exactly — same stats, same matching, and every
+  // fault counter pinned at zero.
+  const Graph g = gen::gnp(200, 0.04, 7);
+  Network plain(g, Model::kCongest, 7, 48);
+  const IsraeliItaiResult expected = israeli_itai(plain);
+  for (const unsigned threads : kThreadCounts) {
+    Network::Options options;
+    options.num_threads = threads;
+    options.fault = FaultPlan{};
+    Network net(g, Model::kCongest, 7, 48, options);
+    EXPECT_FALSE(net.fault_active());
+    const IsraeliItaiResult got = israeli_itai(net);
+    expect_same_stats(expected.stats, got.stats, threads);
+    EXPECT_TRUE(expected.matching == got.matching) << "threads=" << threads;
+    EXPECT_EQ(got.stats.dropped_messages, 0u);
+    EXPECT_EQ(got.stats.duplicated_messages, 0u);
+    EXPECT_EQ(got.stats.delayed_messages, 0u);
+    EXPECT_EQ(got.stats.reordered_inboxes, 0u);
+    EXPECT_EQ(got.stats.crashed_nodes, 0u);
+    EXPECT_EQ(got.stats.restarted_nodes, 0u);
+    EXPECT_FALSE(got.degradation.degraded());
+  }
+}
+
+TEST(FaultDeterminism, IsraeliItaiIdenticalAcrossThreadCounts) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const Graph g = gen::gnp(250, 0.03, seed);
+    Network::Options ref_options;
+    ref_options.num_threads = 1;
+    ref_options.fault = harsh_plan(seed);
+    Network ref(g, Model::kCongest, seed, 48, ref_options);
+    const IsraeliItaiResult expected = israeli_itai(ref);
+    ASSERT_TRUE(expected.matching.is_valid(g));
+    for (const unsigned threads : kThreadCounts) {
+      Network::Options options = ref_options;
+      options.num_threads = threads;
+      Network net(g, Model::kCongest, seed, 48, options);
+      const IsraeliItaiResult got = israeli_itai(net);
+      expect_same_stats(expected.stats, got.stats, threads);
+      expect_same_degradation(expected.degradation, got.degradation, threads);
+      EXPECT_TRUE(expected.matching == got.matching)
+          << "threads=" << threads << " seed=" << seed;
+    }
+  }
+}
+
+TEST(FaultDeterminism, BipartiteMcmIdenticalAcrossThreadCounts) {
+  const std::uint64_t seed = 11;
+  const Graph g = gen::bipartite_gnp(40, 40, 0.12, seed);
+  const auto side = g.bipartition();
+  ASSERT_TRUE(side.has_value());
+  BipartiteMcmOptions mcm;
+  mcm.k = 2;
+  Network::Options ref_options;
+  ref_options.num_threads = 1;
+  ref_options.fault = lossy_plan(seed);
+  ref_options.fault.crash_prob = 0.03;
+  Network ref(g, Model::kCongest, seed, 48, ref_options);
+  const BipartiteMcmResult expected = bipartite_mcm(ref, *side, mcm);
+  ASSERT_TRUE(expected.matching.is_valid(g));
+  for (const unsigned threads : kThreadCounts) {
+    Network::Options options = ref_options;
+    options.num_threads = threads;
+    Network net(g, Model::kCongest, seed, 48, options);
+    const BipartiteMcmResult got = bipartite_mcm(net, *side, mcm);
+    expect_same_stats(expected.stats, got.stats, threads);
+    expect_same_degradation(expected.degradation, got.degradation, threads);
+    EXPECT_TRUE(expected.matching == got.matching) << "threads=" << threads;
+  }
+}
+
+TEST(FaultCounters, MessageFaultsAreCounted) {
+  // With every message-fault probability cranked up, every counter must
+  // fire on a protocol that actually exchanges messages.
+  const Graph g = gen::gnp(150, 0.05, 5);
+  Network::Options options;
+  options.fault = lossy_plan(5);
+  options.fault.drop_prob = 0.3;
+  options.fault.duplicate_prob = 0.3;
+  options.fault.delay_prob = 0.3;
+  options.fault.reorder_prob = 0.5;
+  Network net(g, Model::kCongest, 5, 48, options);
+  const IsraeliItaiResult result = israeli_itai(net);
+  EXPECT_TRUE(result.matching.is_valid(g));
+  EXPECT_GT(result.stats.dropped_messages, 0u);
+  EXPECT_GT(result.stats.duplicated_messages, 0u);
+  EXPECT_GT(result.stats.delayed_messages, 0u);
+  EXPECT_GT(result.stats.reordered_inboxes, 0u);
+  EXPECT_EQ(result.stats.crashed_nodes, 0u);
+}
+
+TEST(FaultCounters, TotalDropStillTerminates) {
+  // drop_prob = 1: no message ever arrives. The driver must come back
+  // with a valid (necessarily empty-ish) matching instead of hanging.
+  const Graph g = gen::gnp(80, 0.1, 3);
+  Network::Options options;
+  options.fault.drop_prob = 1.0;
+  options.fault.seed = 3;
+  Network net(g, Model::kCongest, 3, 48, options);
+  const IsraeliItaiResult result = israeli_itai(net);
+  EXPECT_TRUE(result.matching.is_valid(g));
+  EXPECT_TRUE(result.degradation.degraded());
+  EXPECT_GT(result.stats.dropped_messages, 0u);
+}
+
+TEST(FaultCrashes, ScheduledCrashKillsTheNode) {
+  // Star graph: crash the hub before it can act; nobody can match.
+  const NodeId n = 10;
+  std::vector<Edge> edges;
+  for (NodeId v = 1; v < n; ++v) edges.push_back({0, v, 1.0});
+  const Graph g = Graph::from_edges(n, std::move(edges));
+  Network::Options options;
+  options.fault.crashes.push_back({0, 0, kRoundNever});
+  Network net(g, Model::kCongest, 1, 48, options);
+  EXPECT_TRUE(net.fault_active());
+  const IsraeliItaiResult result = israeli_itai(net);
+  EXPECT_TRUE(net.node_dead(0));
+  EXPECT_EQ(result.matching.size(), 0u);
+  const MatchingInvariantReport check =
+      verify_matching_invariants(g, result.matching, &net);
+  EXPECT_TRUE(check.ok()) << check.summary();
+}
+
+TEST(FaultCrashes, CrashRestartIsCountedAndRecovers) {
+  // A restart-tolerant protocol (stateless chatter with no inter-node
+  // expectations): the crash and restart rounds must land in the
+  // counters, and both nodes must be alive again at extraction time.
+  class Chatter final : public congest::Process {
+   public:
+    void on_round(congest::Context& ctx,
+                  std::span<const congest::Envelope>) override {
+      if (ctx.round() < 12) {
+        BitWriter w;
+        w.write_bool(true);
+        const congest::Message msg = congest::Message::from_writer(std::move(w));
+        for (int p = 0; p < ctx.degree(); ++p) ctx.send(p, msg);
+      }
+      halted_ = ctx.round() >= 12;
+    }
+    [[nodiscard]] bool halted() const override { return halted_; }
+
+   private:
+    bool halted_ = false;
+  };
+  const Graph g = gen::gnp(60, 0.1, 9);
+  Network::Options options;
+  options.fault.crashes.push_back({3, 1, 5});
+  options.fault.crashes.push_back({7, 2, 8});
+  options.fault.seed = 9;
+  Network net(g, Model::kCongest, 9, 48, options);
+  const RunStats stats = net.run(
+      [](NodeId, const Graph&) -> std::unique_ptr<congest::Process> {
+        return std::make_unique<Chatter>();
+      },
+      256);
+  EXPECT_TRUE(stats.completed);
+  EXPECT_EQ(stats.crashed_nodes, 2u);
+  EXPECT_EQ(stats.restarted_nodes, 2u);
+  EXPECT_GT(stats.dropped_messages, 0u);  // deliveries into the dead window
+  // Both nodes are back up at extraction time.
+  EXPECT_FALSE(net.node_dead(3));
+  EXPECT_FALSE(net.node_dead(7));
+}
+
+TEST(FaultCrashes, DriverSurvivesCrashRestart) {
+  // The israeli-itai driver on the same schedule: a restarted node's
+  // fresh protocol state can legitimately trip its neighbors' protocol
+  // asserts; the driver must degrade to a valid matching either way.
+  const Graph g = gen::gnp(60, 0.1, 9);
+  Network::Options options;
+  options.fault.crashes.push_back({3, 1, 5});
+  options.fault.crashes.push_back({7, 2, 8});
+  options.fault.seed = 9;
+  Network net(g, Model::kCongest, 9, 48, options);
+  const IsraeliItaiResult result = israeli_itai(net);
+  EXPECT_TRUE(result.matching.is_valid(g));
+  const MatchingInvariantReport report =
+      verify_matching_invariants(g, result.matching, &net);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(Resilient, NoFaultWrapIsTransparent) {
+  // With no faults the resilient wrapper must not change the computed
+  // matching: each virtual round sees exactly the fault-free inboxes.
+  for (const std::uint64_t seed : {4u, 5u}) {
+    const Graph g = gen::gnp(120, 0.05, seed);
+    Network plain(g, Model::kCongest, seed, 48);
+    plain.run(israeli_itai_factory(), 1 << 12);
+    const Matching expected = plain.extract_matching();
+
+    Network wrapped(g, Model::kCongest, seed, 48);
+    const RunStats stats = wrapped.run(
+        congest::resilient_factory(israeli_itai_factory()),
+        congest::resilient_round_budget(1 << 12));
+    EXPECT_TRUE(stats.completed);
+    EXPECT_TRUE(expected == wrapped.extract_matching()) << "seed=" << seed;
+  }
+}
+
+TEST(Resilient, MasksMessageFaults) {
+  // Drops, duplicates, delays and reorders — but no crashes: the ARQ layer
+  // must deliver every virtual-round message, so the protocol still
+  // produces a maximal matching.
+  const std::uint64_t seed = 17;
+  const Graph g = gen::gnp(100, 0.05, seed);
+  Network::Options options;
+  options.fault = lossy_plan(seed);
+  Network net(g, Model::kCongest, seed, 48, options);
+  const IsraeliItaiResult result = israeli_itai(net);
+  EXPECT_TRUE(result.matching.is_valid(g));
+  EXPECT_TRUE(result.matching.is_maximal(g));
+  EXPECT_FALSE(result.degradation.contract_tripped);
+}
+
+TEST(Resilient, RoundBudgetFormula) {
+  EXPECT_EQ(congest::resilient_round_budget(0), 128);
+  EXPECT_EQ(congest::resilient_round_budget(10), 8 * 10 + 128);
+  EXPECT_EQ(congest::resilient_round_budget(1 << 30), 1000000000);
+}
+
+TEST(Healing, ResilientExtractionMatchesHealedExtraction) {
+  // Run the *unwrapped* protocol under faults (its internal asserts may
+  // trip — that is part of the scenario), then check that the non-mutating
+  // resilient extraction agrees with heal + strict extraction.
+  const std::uint64_t seed = 23;
+  const Graph g = gen::gnp(120, 0.05, seed);
+  Network::Options options;
+  options.fault = harsh_plan(seed);
+  Network net(g, Model::kCongest, seed, 48, options);
+  try {
+    net.run(israeli_itai_factory(), 256);
+  } catch (const ContractViolation&) {
+  } catch (const congest::MessageTooLarge&) {
+  }
+  DegradationReport soft;
+  const Matching via_resilient = net.extract_matching_resilient(&soft);
+  EXPECT_TRUE(via_resilient.is_valid(g));
+  DegradationReport healed;
+  net.heal_registers(&healed);
+  const Matching via_heal = net.extract_matching();
+  EXPECT_TRUE(via_resilient == via_heal);
+  EXPECT_EQ(soft.crashed_nodes, healed.crashed_nodes);
+}
+
+TEST(Verify, FlagsMatchedDeadNodes) {
+  const Graph g = gen::cycle(8);
+  Network::Options options;
+  options.fault.crashes.push_back({2, 0, kRoundNever});
+  Network net(g, Model::kCongest, 1, 48, options);
+  net.run(israeli_itai_factory(), 64);  // advance lifetime past round 0
+
+  Matching bad(g.node_count());
+  bad.add(g, g.incident_edges(2).front());  // matches dead node 2
+  const MatchingInvariantReport report =
+      verify_matching_invariants(g, bad, &net);
+  EXPECT_TRUE(report.valid);
+  EXPECT_FALSE(report.respects_crashes);
+  EXPECT_EQ(report.matched_dead_nodes, 1u);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(Verify, RatioAgainstSurvivingOptimum) {
+  const Graph g = gen::bipartite_gnp(30, 30, 0.15, 2);
+  Network net(g, Model::kCongest, 2, 48);
+  const IsraeliItaiResult result = israeli_itai(net);
+  const MatchingInvariantReport report =
+      verify_matching_invariants(g, result.matching, &net, true);
+  EXPECT_TRUE(report.ok());
+  EXPECT_GE(report.optimal_size, report.size);
+  EXPECT_GE(report.ratio, 0.5);  // maximal matchings are 1/2-approximate
+  EXPECT_LE(report.ratio, 1.0);
+}
+
+TEST(Drivers, GeneralMcmDegradesGracefully) {
+  GeneralMcmOptions options;
+  options.k = 2;
+  options.seed = 31;
+  options.patience = 5;
+  options.fault = harsh_plan(31);
+  const Graph g = gen::gnp(60, 0.08, 31);
+  const GeneralMcmResult result = general_mcm(g, options);
+  EXPECT_TRUE(result.matching.is_valid(g));
+  EXPECT_GT(result.iterations, 0);
+}
+
+TEST(Drivers, HalfMwmDegradesGracefully) {
+  HalfMwmOptions options;
+  options.seed = 37;
+  options.max_iterations_override = 6;
+  options.fault = harsh_plan(37);
+  const Graph g =
+      gen::with_uniform_weights(gen::gnp(60, 0.08, 37), 1.0, 9.0, 37);
+  const HalfMwmResult result = half_mwm(g, options);
+  EXPECT_TRUE(result.matching.is_valid(g));
+  EXPECT_GT(result.iterations, 0);
+}
+
+}  // namespace
+}  // namespace dmatch

@@ -10,6 +10,7 @@
 #include <tuple>
 
 #include "core/api.hpp"
+#include "core/verify.hpp"
 #include "graph/blossom.hpp"
 #include "graph/generators.hpp"
 #include "graph/hungarian.hpp"
@@ -109,6 +110,90 @@ TEST_P(TortureParam, WeightedInvariants) {
 INSTANTIATE_TEST_SUITE_P(AllFamilies, TortureParam,
                          ::testing::Combine(::testing::Range(0, 10),
                                             ::testing::Values(1, 2)));
+
+/// A seed-derived adversary: every (family, seed) cell fights a different
+/// mix of drops, duplicates, delays, reorders and crash-restarts.
+congest::FaultPlan torture_plan(std::uint64_t cell) {
+  congest::FaultPlan plan;
+  plan.seed = cell * 0x9e3779b97f4a7c15ULL + 1;
+  plan.drop_prob = 0.02 * static_cast<double>(plan.seed % 5);
+  plan.duplicate_prob = 0.03 * static_cast<double>((plan.seed >> 8) % 3);
+  plan.delay_prob = 0.05 * static_cast<double>((plan.seed >> 16) % 3);
+  plan.reorder_prob = 0.1 * static_cast<double>((plan.seed >> 24) % 3);
+  plan.crash_prob = 0.02 * static_cast<double>((plan.seed >> 32) % 3);
+  plan.restart_prob = 0.5;
+  plan.crash_round_bound = 48;
+  if (!plan.any()) plan.drop_prob = 0.05;  // never hand back a free pass
+  return plan;
+}
+
+TEST_P(TortureParam, FaultedIsraeliItaiInvariants) {
+  const auto [family, seed] = GetParam();
+  const Graph g = make_family(family, static_cast<std::uint64_t>(seed));
+  congest::Network::Options net_options;
+  net_options.fault =
+      torture_plan(static_cast<std::uint64_t>(seed) * 16 + family);
+  congest::Network net(g, congest::Model::kCongest,
+                       static_cast<std::uint64_t>(seed) + 6000, 48,
+                       net_options);
+  const IsraeliItaiResult result = israeli_itai(net);
+  const MatchingInvariantReport report =
+      verify_matching_invariants(g, result.matching, &net, true);
+  EXPECT_TRUE(report.ok()) << report.summary() << " family " << family;
+  EXPECT_LE(report.ratio, 1.0) << "family " << family;
+}
+
+TEST_P(TortureParam, FaultedBipartiteMcmInvariants) {
+  const auto [family, seed] = GetParam();
+  const Graph g = make_family(family, static_cast<std::uint64_t>(seed));
+  const auto side = g.bipartition();
+  if (!side.has_value()) return;  // family is not bipartite for this seed
+  congest::Network::Options net_options;
+  net_options.fault =
+      torture_plan(static_cast<std::uint64_t>(seed) * 16 + family + 1);
+  congest::Network net(g, congest::Model::kCongest,
+                       static_cast<std::uint64_t>(seed) + 7000, 48,
+                       net_options);
+  BipartiteMcmOptions options;
+  options.k = 2;
+  const BipartiteMcmResult result = bipartite_mcm(net, *side, options);
+  const MatchingInvariantReport report =
+      verify_matching_invariants(g, result.matching, &net);
+  EXPECT_TRUE(report.ok()) << report.summary() << " family " << family;
+}
+
+TEST_P(TortureParam, FaultedGeneralMcmInvariants) {
+  const auto [family, seed] = GetParam();
+  const Graph g = make_family(family, static_cast<std::uint64_t>(seed));
+  GeneralMcmOptions options;
+  options.k = 2;
+  options.patience = 4;
+  options.seed = static_cast<std::uint64_t>(seed) + 8000;
+  options.fault = torture_plan(static_cast<std::uint64_t>(seed) * 16 + family + 2);
+  const GeneralMcmResult result = general_mcm(g, options);
+  // The driver's internal networks are gone, so deadness cannot be
+  // re-queried here; the final sweep already guarantees no dead node is
+  // matched, and structural validity is what remains checkable.
+  const MatchingInvariantReport report =
+      verify_matching_invariants(g, result.matching);
+  EXPECT_TRUE(report.ok()) << report.summary() << " family " << family;
+}
+
+TEST_P(TortureParam, FaultedHalfMwmInvariants) {
+  const auto [family, seed] = GetParam();
+  const Graph g = gen::with_exponential_weights(
+      make_family(family, static_cast<std::uint64_t>(seed)), 100.0,
+      static_cast<std::uint64_t>(seed) + 9000);
+  if (g.edge_count() == 0) return;
+  HalfMwmOptions options;
+  options.max_iterations_override = 5;
+  options.seed = static_cast<std::uint64_t>(seed) + 9500;
+  options.fault = torture_plan(static_cast<std::uint64_t>(seed) * 16 + family + 3);
+  const HalfMwmResult result = half_mwm(g, options);
+  const MatchingInvariantReport report =
+      verify_matching_invariants(g, result.matching);
+  EXPECT_TRUE(report.ok()) << report.summary() << " family " << family;
+}
 
 TEST(Torture, BipartiteFamiliesAgainstExactWeighted) {
   for (int shape = 0; shape < 4; ++shape) {

@@ -22,6 +22,13 @@
 //   --k K            approximation parameter for mcm-* (default 5 / 3)
 //   --epsilon E      approximation parameter for mwm* (default 0.1)
 //   --dot FILE       also write a Graphviz rendering with the matching
+//
+// Fault injection (maximal, mcm-bipartite, mcm-general, mwm):
+//   --fault-drop P   per-message drop probability
+//   --fault-crash P  per-node crash probability
+//   --fault-seed S   seed of the fault stream (default 1)
+// With any fault option the run degrades gracefully and a JSON
+// degradation report line is printed after the matching.
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -115,6 +122,26 @@ Graph load_graph(const Args& args) {
   return g;
 }
 
+congest::FaultPlan parse_fault_plan(const Args& args) {
+  congest::FaultPlan plan;
+  plan.drop_prob = std::stod(args.get("fault-drop", "0"));
+  plan.crash_prob = std::stod(args.get("fault-crash", "0"));
+  plan.seed = std::stoull(args.get("fault-seed", "1"));
+  return plan;
+}
+
+void report_degradation(const congest::DegradationReport& d) {
+  std::cout << "degradation: {\"degraded\": " << (d.degraded() ? "true" : "false")
+            << ", \"budget_exhausted\": "
+            << (d.budget_exhausted ? "true" : "false")
+            << ", \"contract_tripped\": "
+            << (d.contract_tripped ? "true" : "false")
+            << ", \"crashed_nodes\": " << d.crashed_nodes
+            << ", \"torn_registers_healed\": " << d.torn_registers_healed
+            << ", \"dead_registers_healed\": " << d.dead_registers_healed
+            << "}\n";
+}
+
 void report(const Graph& g, const Matching& m, const congest::RunStats* stats,
             const Args& args) {
   std::cout << "graph: n=" << g.node_count() << " m=" << g.edge_count()
@@ -148,26 +175,41 @@ int run(const Args& args) {
   }
 
   const Graph g = load_graph(args);
+  const congest::FaultPlan fault = parse_fault_plan(args);
+  if (fault.any() &&
+      (args.command == "mwm-local" || args.command == "exact")) {
+    std::cerr << "fault injection is not supported for " << args.command
+              << "\n";
+    return 2;
+  }
+  congest::Network::Options net_options;
+  net_options.fault = fault;
   if (args.command == "maximal") {
-    const auto result = maximal_matching(g, seed);
+    const auto result = maximal_matching(g, seed, 48, net_options);
     report(g, result.matching, &result.stats, args);
+    if (fault.any()) report_degradation(result.degradation);
   } else if (args.command == "mcm-bipartite") {
     BipartiteMcmOptions options;
     options.k = std::stoi(args.get("k", "5"));
-    const auto result = approx_mcm_bipartite(g, seed, options);
+    const auto result = approx_mcm_bipartite(g, seed, options, 48, net_options);
     report(g, result.matching, &result.stats, args);
+    if (fault.any()) report_degradation(result.degradation);
   } else if (args.command == "mcm-general") {
     GeneralMcmOptions options;
     options.k = std::stoi(args.get("k", "3"));
     options.seed = seed;
+    options.fault = fault;
     const auto result = approx_mcm_general(g, options);
     report(g, result.matching, &result.stats, args);
+    if (fault.any()) report_degradation(result.degradation);
   } else if (args.command == "mwm") {
     HalfMwmOptions options;
     options.epsilon = std::stod(args.get("epsilon", "0.1"));
     options.seed = seed;
+    options.fault = fault;
     const auto result = approx_mwm(g, options);
     report(g, result.matching, &result.stats, args);
+    if (fault.any()) report_degradation(result.degradation);
   } else if (args.command == "mwm-local") {
     LocalMwmOptions options;
     options.epsilon = std::stod(args.get("epsilon", "0.34"));
@@ -191,6 +233,7 @@ int run(const Args& args) {
     }
     report(g, m, nullptr, args);
   } else {
+    std::cerr << "unknown command: " << args.command << "\n";
     return 2;
   }
   return 0;
@@ -207,11 +250,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   try {
-    const int code = run(*args);
-    if (code == 2) {
-      std::cerr << "unknown command: " << args->command << "\n";
-    }
-    return code;
+    return run(*args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "congest/resilient.hpp"
 #include "core/api.hpp"
 #include "core/verify.hpp"
 #include "graph/blossom.hpp"
@@ -145,5 +146,64 @@ int main() {
       "by the dead\nfraction (general MCM: full-graph denominator), and "
       "invalid runs stay 0\neverywhere -- degradation is graceful, never "
       "corrupt.");
+
+  // E20 -- ARQ round overhead: real rounds of the resilient link layer
+  // (selective repeat, window 8) against the fault-free baseline and the
+  // window-1 stop-and-wait degenerate, over the E19 drop schedules.
+  bench::banner("E20",
+                "selective-repeat ARQ round overhead vs stop-and-wait");
+  Table t20({"drop", "baseline", "sel-rep", "overhead", "stop-wait",
+             "sw overhead"});
+  for (const double drop : kDropRates) {
+    double base_rounds = 0;
+    double sr_rounds = 0;
+    double sw_rounds = 0;
+    for (int s = 0; s < seeds; ++s) {
+      const auto seed = static_cast<std::uint64_t>(s) + 1;
+      const Graph g = gen::gnp(96, 0.05, seed);
+      congest::Network plain(g, congest::Model::kCongest, seed + 70, 48);
+      base_rounds += static_cast<double>(
+          plain.run(israeli_itai_factory(), 1 << 12).rounds);
+      for (const int window : {8, 1}) {
+        congest::Network::Options net_options;
+        net_options.fault = make_plan(drop, 0.0, seed * 557);
+        congest::Network net(g, congest::Model::kCongest, seed + 70, 48,
+                             net_options);
+        congest::ResilientOptions ropts;
+        ropts.window = window;
+        const congest::RunStats stats =
+            net.run(congest::resilient_factory(israeli_itai_factory(), ropts),
+                    congest::resilient_round_budget(1 << 12));
+        (window == 8 ? sr_rounds : sw_rounds) +=
+            static_cast<double>(stats.rounds);
+      }
+    }
+    base_rounds /= seeds;
+    sr_rounds /= seeds;
+    sw_rounds /= seeds;
+    std::cout << "{\"experiment\": \"E20\", \"drop\": " << drop
+              << ", \"runs\": " << seeds
+              << ", \"baseline_rounds\": " << base_rounds
+              << ", \"selective_repeat_rounds\": " << sr_rounds
+              << ", \"selective_repeat_overhead\": " << sr_rounds / base_rounds
+              << ", \"stop_and_wait_rounds\": " << sw_rounds
+              << ", \"stop_and_wait_overhead\": " << sw_rounds / base_rounds
+              << "}\n";
+    t20.row()
+        .cell(drop, 2)
+        .cell(base_rounds, 1)
+        .cell(sr_rounds, 1)
+        .cell(sr_rounds / base_rounds, 2)
+        .cell(sw_rounds, 1)
+        .cell(sw_rounds / base_rounds, 2);
+  }
+  std::cout << "\n";
+  t20.print(std::cout);
+  bench::footer(
+      "Reading: selective repeat pipelines a window per RTT, so it adds "
+      "almost\nnothing without loss (~1.03x) and stays around 2x through "
+      "drop = 0.05;\nstop-and-wait pays a full RTT per virtual round from "
+      "the start (~2x) and\ncollapses at drop = 0.1, where serial "
+      "per-frame timeouts compound.");
   return 0;
 }

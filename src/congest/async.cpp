@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <map>
 #include <queue>
+#include <utility>
 
 #include "support/assert.hpp"
+#include "support/rng.hpp"
 
 namespace dmatch::congest {
 
@@ -18,7 +20,10 @@ struct Event {
   NodeId dst = kNoNode;
   int dst_port = -1;  // port at the destination the message arrives on
   EventKind kind = EventKind::kData;
-  int round = 0;
+  int round = 0;       // sender's simulated round (DATA) / referenced round
+  int file_round = 0;  // simulated round the payload is due (>= round + 1)
+  bool dropped = false;  // payload lost in transit; still acked
+  bool synth = false;    // synthetic duplicate: delivers, never acks
   Message payload;
 };
 
@@ -72,27 +77,39 @@ class AsyncContext final : public Context {
   std::vector<std::pair<int, Message>>& outbox_;
 };
 
+/// A payload due on a later simulated round than sender_round + 1
+/// (delayed original or synthetic duplicate). Mirrors the engine's delay
+/// ring entries, including their (port, origin round) delivery order.
+struct ExtraEnvelope {
+  int port = -1;
+  int origin_round = 0;
+  Message msg;
+};
+
 /// Per-node synchronizer state.
 struct NodeState {
   std::unique_ptr<Process> proc;
   Rng rng{0};
   int executed_round = -1;            // highest simulated round run so far
   std::map<int, std::vector<Envelope>> inbox;  // keyed by delivery round
+  std::map<int, std::vector<ExtraEnvelope>> extras;  // late/dup deliveries
   std::map<int, int> safe_count;      // SAFE(r) messages received
   int pending_acks = 0;               // for the DATA of executed_round
   bool announced_safe = false;        // SAFE(executed_round) already sent
+  bool respawned = false;             // crash-restart already performed
 };
 
 class AlphaSynchronizerRun {
  public:
   AlphaSynchronizerRun(const Graph& g, const ProcessFactory& factory,
                        std::vector<int>& mate_ports, std::uint64_t seed,
-                       int max_rounds, double min_delay, double max_delay)
+                       int max_rounds, const AsyncOptions& options)
       : g_(g),
+        factory_(factory),
         mate_ports_(mate_ports),
         max_rounds_(max_rounds),
-        min_delay_(min_delay),
-        max_delay_(max_delay),
+        options_(options),
+        fault_(options.fault.any()),
         delay_rng_(seed ^ 0xd37a11ce5ULL) {
     DMATCH_EXPECTS(mate_ports_.size() ==
                    static_cast<std::size_t>(g.node_count()));
@@ -103,10 +120,30 @@ class AlphaSynchronizerRun {
       node.proc = factory(v, g);
       node.rng = root.fork(static_cast<std::uint64_t>(v));
     }
+    if (fault_) {
+      // Same crash table and per-message hash stream as the round engine
+      // (first run on a fresh Network, nonce 0), so a plan produces one
+      // fault history regardless of which executor replays it.
+      sched_ = fault_detail::compute_crash_schedule(options_.fault,
+                                                    g.node_count());
+      fseed_ = fault_detail::run_seed(options_.fault.seed, 0);
+      slot_offset_.resize(static_cast<std::size_t>(g.node_count()) + 1, 0);
+      for (NodeId v = 0; v < g.node_count(); ++v) {
+        slot_offset_[static_cast<std::size_t>(v) + 1] =
+            slot_offset_[static_cast<std::size_t>(v)] +
+            static_cast<std::uint64_t>(g.degree(v));
+      }
+    }
   }
 
-  AsyncStats run() {
+  AsyncStats run(std::vector<char>* dead_out) {
     for (NodeId v = 0; v < g_.node_count(); ++v) execute_round(v, 0);
+    // Isolated nodes receive no events, so no dispatch ever advances
+    // them: spin them forward now (they halt on their own or burn the
+    // round budget, exactly like their engine execution).
+    for (NodeId v = 0; v < g_.node_count(); ++v) {
+      if (g_.degree(v) == 0) try_advance(0.0, v);
+    }
     while (!queue_.empty()) {
       if (quiescent()) break;
       Event ev = queue_.top();
@@ -119,29 +156,96 @@ class AlphaSynchronizerRun {
     // halted, nothing undelivered) -- a drained event queue alone can also
     // mean the round budget cut the synchronizer off mid-protocol.
     stats_.completed = quiescent();
+    if (fault_) {
+      finish_faults(dead_out);
+    } else if (dead_out != nullptr) {
+      dead_out->assign(static_cast<std::size_t>(g_.node_count()), 0);
+    }
     return stats_;
   }
 
  private:
+  [[nodiscard]] bool settled_dead(NodeId v) const {
+    if (!fault_) return false;
+    const auto vi = static_cast<std::size_t>(v);
+    const auto& node = nodes_[vi];
+    return sched_.restart_at[vi] == kRoundNever && node.executed_round >= 0 &&
+           sched_.crash_at[vi] <=
+               static_cast<std::uint64_t>(node.executed_round);
+  }
+
   [[nodiscard]] bool quiescent() const {
     if (data_in_flight_ > 0) return false;
-    for (const NodeState& node : nodes_) {
+    for (NodeId v = 0; v < g_.node_count(); ++v) {
+      const NodeState& node = nodes_[static_cast<std::size_t>(v)];
+      // A node that died for good absorbs whatever is still addressed
+      // to it (counted as drops at the end) and never acts again.
+      if (settled_dead(v)) continue;
       if (!node.proc->halted()) return false;
       for (const auto& [round, box] : node.inbox) {
+        if (!box.empty() && round > node.executed_round) return false;
+      }
+      for (const auto& [round, box] : node.extras) {
         if (!box.empty() && round > node.executed_round) return false;
       }
     }
     return true;
   }
 
-  double delay() {
-    return min_delay_ + (max_delay_ - min_delay_) * delay_rng_.uniform01();
+  void finish_faults(std::vector<char>* dead_out) {
+    // Residual payloads parked for rounds a permanently dead node will
+    // never execute are lost — the engine counts the same messages as
+    // drops when the dead node's round comes up or the run ends.
+    for (NodeId v = 0; v < g_.node_count(); ++v) {
+      if (!settled_dead(v)) continue;
+      NodeState& node = nodes_[static_cast<std::size_t>(v)];
+      for (auto& [round, box] : node.inbox) {
+        if (round > node.executed_round) {
+          stats_.dropped_messages += box.size();
+        }
+      }
+      for (auto& [round, box] : node.extras) {
+        if (round > node.executed_round) {
+          stats_.dropped_messages += box.size();
+        }
+      }
+      node.inbox.clear();
+      node.extras.clear();
+    }
+    // Crash events that fired inside the simulated window, and the
+    // end-of-run dead mask (the engine's node_dead at lifetime end).
+    const std::uint64_t end_round = stats_.virtual_rounds + 1;
+    if (dead_out != nullptr) {
+      dead_out->assign(static_cast<std::size_t>(g_.node_count()), 0);
+    }
+    for (NodeId v = 0; v < g_.node_count(); ++v) {
+      const auto vi = static_cast<std::size_t>(v);
+      if (sched_.crash_at[vi] < end_round) ++stats_.crashed_nodes;
+      if (dead_out != nullptr && sched_.dead_at(v, end_round)) {
+        (*dead_out)[vi] = 1;
+      }
+    }
   }
 
-  void enqueue(double now, NodeId dst, int dst_port, EventKind kind, int round,
-               Message payload = {}) {
-    queue_.push(Event{now + delay(), ++seq_, dst, dst_port, kind, round,
-                      std::move(payload)});
+  double delay() {
+    return options_.min_delay +
+           (options_.max_delay - options_.min_delay) * delay_rng_.uniform01();
+  }
+
+  void enqueue(double now, Event ev) {
+    ev.time = now + delay();
+    ev.seq = ++seq_;
+    queue_.push(std::move(ev));
+  }
+
+  void enqueue_control(double now, NodeId dst, int dst_port, EventKind kind,
+                       int round) {
+    Event ev;
+    ev.dst = dst;
+    ev.dst_port = dst_port;
+    ev.kind = kind;
+    ev.round = round;
+    enqueue(now, std::move(ev));
   }
 
   void dispatch(Event ev) {
@@ -149,15 +253,28 @@ class AlphaSynchronizerRun {
     switch (ev.kind) {
       case EventKind::kData: {
         --data_in_flight_;
-        ++stats_.payload_messages;
-        node.inbox[ev.round + 1].push_back({ev.dst_port, std::move(ev.payload)});
-        // Acknowledge to the sender.
-        const EdgeId e = g_.incident_edges(
-            ev.dst)[static_cast<std::size_t>(ev.dst_port)];
-        const NodeId sender = g_.other_endpoint(e, ev.dst);
-        enqueue(ev.time, sender, g_.port_of_edge(sender, e), EventKind::kAck,
-                ev.round);
-        ++stats_.control_messages;
+        if (!ev.synth) {
+          ++stats_.payload_messages;
+          // Acknowledge to the sender. The control plane is reliable
+          // (Awerbuch's model): even a dropped payload is acked, else
+          // the sender would never announce SAFE and the synchronizer
+          // would deadlock on a fault.
+          const EdgeId e = g_.incident_edges(
+              ev.dst)[static_cast<std::size_t>(ev.dst_port)];
+          const NodeId sender = g_.other_endpoint(e, ev.dst);
+          enqueue_control(ev.time, sender, g_.port_of_edge(sender, e),
+                          EventKind::kAck, ev.round);
+          ++stats_.control_messages;
+        }
+        if (!ev.dropped) {
+          if (ev.file_round > ev.round + 1) {
+            node.extras[ev.file_round].push_back(
+                {ev.dst_port, ev.round, std::move(ev.payload)});
+          } else {
+            node.inbox[ev.file_round].push_back(
+                {ev.dst_port, std::move(ev.payload)});
+          }
+        }
         break;
       }
       case EventKind::kAck: {
@@ -184,22 +301,29 @@ class AlphaSynchronizerRun {
     for (int p = 0; p < g_.degree(v); ++p) {
       const NodeId u = g_.neighbor(v, p);
       const EdgeId e = g_.incident_edges(v)[static_cast<std::size_t>(p)];
-      enqueue(now, u, g_.port_of_edge(u, e), EventKind::kSafe,
-              node.executed_round);
+      enqueue_control(now, u, g_.port_of_edge(u, e), EventKind::kSafe,
+                      node.executed_round);
       ++stats_.control_messages;
     }
   }
 
   void try_advance(double now, NodeId v) {
     auto& node = nodes_[static_cast<std::size_t>(v)];
+    const auto vi = static_cast<std::size_t>(v);
     for (;;) {
       const int r = node.executed_round;
       if (r + 1 > max_rounds_) return;
       if (!node.announced_safe) return;  // own messages not yet delivered
       if (g_.degree(v) > 0 && node.safe_count[r] < g_.degree(v)) return;
-      // An isolated halted node influences nobody: spinning it forward
-      // only burns simulated rounds.
-      if (g_.degree(v) == 0 && node.proc->halted()) return;
+      if (g_.degree(v) == 0) {
+        // An isolated halted node influences nobody: spinning it forward
+        // only burns simulated rounds. Same for one that died for good.
+        if (node.proc->halted()) return;
+        if (fault_ && sched_.restart_at[vi] == kRoundNever &&
+            sched_.crash_at[vi] <= static_cast<std::uint64_t>(r) + 1) {
+          return;
+        }
+      }
       execute_round(v, r + 1);
       (void)now;
     }
@@ -207,11 +331,42 @@ class AlphaSynchronizerRun {
 
   void execute_round(NodeId v, int round) {
     auto& node = nodes_[static_cast<std::size_t>(v)];
+    const auto vi = static_cast<std::size_t>(v);
     DMATCH_ASSERT(round == node.executed_round + 1);
     node.executed_round = round;
     node.safe_count.erase(round - 2);  // stale bookkeeping
     stats_.virtual_rounds = std::max(
         stats_.virtual_rounds, static_cast<std::uint64_t>(round));
+    const double now = stats_.completion_time;
+
+    if (fault_ &&
+        sched_.dead_at(v, static_cast<std::uint64_t>(round))) {
+      // Crashed node: executes no protocol step and its round's payloads
+      // are lost (the engine drops them at consumption), but it keeps
+      // the synchronizer sound — no data, so SAFE goes out immediately.
+      if (const auto it = node.inbox.find(round); it != node.inbox.end()) {
+        stats_.dropped_messages += it->second.size();
+        node.inbox.erase(it);
+      }
+      if (const auto it = node.extras.find(round); it != node.extras.end()) {
+        stats_.dropped_messages += it->second.size();
+        node.extras.erase(it);
+      }
+      node.pending_acks = 0;
+      node.announced_safe = false;
+      announce_safe(now, v);
+      return;
+    }
+    if (fault_ && !node.respawned &&
+        sched_.crash_at[vi] <= static_cast<std::uint64_t>(round)) {
+      // Crash-restart: fresh protocol state, cleared output register,
+      // same private RNG stream — the engine's respawn semantics.
+      node.respawned = true;
+      node.proc = factory_(v, g_);
+      DMATCH_ENSURES(node.proc != nullptr);
+      mate_ports_[vi] = -1;
+      ++stats_.restarted_nodes;
+    }
 
     std::vector<Envelope> inbox;
     if (const auto it = node.inbox.find(round); it != node.inbox.end()) {
@@ -222,35 +377,127 @@ class AlphaSynchronizerRun {
               [](const Envelope& a, const Envelope& b) {
                 return a.port < b.port;
               });
+    if (fault_) {
+      // Late/duplicate payloads follow the regular slots in the engine's
+      // delay-ring order: sorted by (port, origin round).
+      if (const auto it = node.extras.find(round); it != node.extras.end()) {
+        std::sort(it->second.begin(), it->second.end(),
+                  [](const ExtraEnvelope& a, const ExtraEnvelope& b) {
+                    return std::tie(a.port, a.origin_round) <
+                           std::tie(b.port, b.origin_round);
+                  });
+        for (ExtraEnvelope& e : it->second) {
+          inbox.push_back({e.port, std::move(e.msg)});
+        }
+        node.extras.erase(it);
+      }
+      if (options_.fault.reorder_prob > 0 && inbox.size() > 1) {
+        const std::uint64_t h = fault_detail::mix(
+            fseed_, fault_detail::kSaltReorder,
+            static_cast<std::uint64_t>(round), v);
+        if (fault_detail::to_unit(h) < options_.fault.reorder_prob) {
+          std::uint64_t state = h;
+          for (std::size_t i = inbox.size() - 1; i > 0; --i) {
+            const auto j =
+                static_cast<std::size_t>(splitmix64(state) % (i + 1));
+            std::swap(inbox[i], inbox[j]);
+          }
+          ++stats_.reordered_inboxes;
+        }
+      }
+    }
 
     std::vector<std::pair<int, Message>> outbox;
     // Mirror Network::run: halted nodes with an empty inbox are skipped
     // (they still synchronize, sending SAFE with no data).
     if (!node.proc->halted() || !inbox.empty()) {
-      AsyncContext ctx(g_, v, round, node.rng,
-                       mate_ports_[static_cast<std::size_t>(v)], outbox);
+      AsyncContext ctx(g_, v, round, node.rng, mate_ports_[vi], outbox);
       node.proc->on_round(ctx, inbox);
     }
 
     node.pending_acks = static_cast<int>(outbox.size());
     node.announced_safe = false;
-    const double now = stats_.completion_time;
     for (auto& [port, msg] : outbox) {
       const EdgeId e = g_.incident_edges(v)[static_cast<std::size_t>(port)];
       const NodeId u = g_.other_endpoint(e, v);
-      enqueue(now, u, g_.port_of_edge(u, e), EventKind::kData, round,
-              std::move(msg));
+      const int uport = g_.port_of_edge(u, e);
+      Event ev;
+      ev.dst = u;
+      ev.dst_port = uport;
+      ev.kind = EventKind::kData;
+      ev.round = round;
+      ev.file_round = round + 1;
+      if (fault_) {
+        // The engine's exact per-message decision hash: (run seed,
+        // sender round, receiver slot). Identical plan, identical fate.
+        const std::uint64_t in_slot =
+            slot_offset_[static_cast<std::size_t>(u)] +
+            static_cast<std::uint64_t>(uport);
+        const FaultPlan& plan = options_.fault;
+        const std::uint64_t h = fault_detail::mix(
+            fseed_, static_cast<std::uint64_t>(round), in_slot, 0);
+        if (plan.drop_prob > 0 &&
+            fault_detail::to_unit(fault_detail::mix(
+                h, fault_detail::kSaltDrop, 0, 0)) < plan.drop_prob) {
+          ev.dropped = true;
+          ++stats_.dropped_messages;
+        } else {
+          const int max_d = std::max(1, plan.max_delay);
+          const bool dup =
+              plan.duplicate_prob > 0 &&
+              fault_detail::to_unit(fault_detail::mix(
+                  h, fault_detail::kSaltDup, 0, 0)) < plan.duplicate_prob;
+          const bool late =
+              plan.delay_prob > 0 &&
+              fault_detail::to_unit(fault_detail::mix(
+                  h, fault_detail::kSaltDelay, 0, 0)) < plan.delay_prob;
+          if (dup) {
+            const int d =
+                1 + static_cast<int>(
+                        fault_detail::mix(h, fault_detail::kSaltDupAmount, 0,
+                                          0) %
+                        static_cast<std::uint64_t>(max_d));
+            ++stats_.duplicated_messages;
+            Event copy;
+            copy.dst = u;
+            copy.dst_port = uport;
+            copy.kind = EventKind::kData;
+            copy.round = round;
+            copy.file_round = round + 1 + d;
+            copy.synth = true;
+            copy.payload = msg;
+            enqueue(now, std::move(copy));
+            ++data_in_flight_;
+          }
+          if (late) {
+            const int d =
+                1 + static_cast<int>(
+                        fault_detail::mix(h, fault_detail::kSaltDelayAmount,
+                                          0, 0) %
+                        static_cast<std::uint64_t>(max_d));
+            ++stats_.delayed_messages;
+            ev.file_round = round + 1 + d;
+          }
+        }
+      }
+      ev.payload = std::move(msg);
+      enqueue(now, std::move(ev));
       ++data_in_flight_;
     }
     if (node.pending_acks == 0) announce_safe(now, v);
   }
 
   const Graph& g_;
+  const ProcessFactory& factory_;
   std::vector<int>& mate_ports_;
   const int max_rounds_;
-  const double min_delay_;
-  const double max_delay_;
+  const AsyncOptions options_;
+  const bool fault_;
   Rng delay_rng_;
+
+  fault_detail::CrashSchedule sched_;
+  std::uint64_t fseed_ = 0;
+  std::vector<std::uint64_t> slot_offset_;
 
   std::vector<NodeState> nodes_;
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
@@ -263,31 +510,98 @@ class AlphaSynchronizerRun {
 
 AsyncStats run_synchronized(const Graph& g, const ProcessFactory& factory,
                             std::vector<int>& mate_ports, std::uint64_t seed,
+                            int max_virtual_rounds, const AsyncOptions& options,
+                            std::vector<char>* dead_out) {
+  DMATCH_EXPECTS(options.min_delay > 0 &&
+                 options.max_delay >= options.min_delay);
+  AlphaSynchronizerRun run(g, factory, mate_ports, seed, max_virtual_rounds,
+                           options);
+  return run.run(dead_out);
+}
+
+AsyncStats run_synchronized(const Graph& g, const ProcessFactory& factory,
+                            std::vector<int>& mate_ports, std::uint64_t seed,
                             int max_virtual_rounds, double min_delay,
                             double max_delay) {
-  DMATCH_EXPECTS(min_delay > 0 && max_delay >= min_delay);
-  AlphaSynchronizerRun run(g, factory, mate_ports, seed, max_virtual_rounds,
-                           min_delay, max_delay);
-  return run.run();
+  AsyncOptions options;
+  options.min_delay = min_delay;
+  options.max_delay = max_delay;
+  return run_synchronized(g, factory, mate_ports, seed, max_virtual_rounds,
+                          options, nullptr);
 }
 
 AsyncRunResult run_synchronized(const Graph& g, const ProcessFactory& factory,
-                                std::uint64_t seed, int max_virtual_rounds) {
-  std::vector<int> mate_ports(static_cast<std::size_t>(g.node_count()), -1);
-  AsyncStats stats =
-      run_synchronized(g, factory, mate_ports, seed, max_virtual_rounds);
+                                std::uint64_t seed, int max_virtual_rounds,
+                                const AsyncOptions& options) {
+  const auto n = static_cast<std::size_t>(g.node_count());
+  std::vector<int> mate_ports(n, -1);
+  AsyncRunResult res;
+  res.stats = run_synchronized(g, factory, mate_ports, seed,
+                               max_virtual_rounds, options, &res.dead_nodes);
   Matching m(g.node_count());
+  if (!options.fault.any()) {
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      const int port = mate_ports[static_cast<std::size_t>(v)];
+      if (port < 0) continue;
+      const EdgeId e = g.incident_edges(v)[static_cast<std::size_t>(port)];
+      const NodeId u = g.other_endpoint(e, v);
+      const int uport = mate_ports[static_cast<std::size_t>(u)];
+      DMATCH_EXPECTS(uport >= 0 &&
+                     g.incident_edges(u)[static_cast<std::size_t>(uport)] == e);
+      if (v < u) m.add(g, e);
+    }
+    res.matching = std::move(m);
+    return res;
+  }
+
+  // Same register healing as Network::heal_registers, against the
+  // end-of-run dead mask: decide on a frozen snapshot, then clear.
+  res.degradation.budget_exhausted = !res.stats.completed;
+  std::vector<char> clear(n, 0);
+  std::uint64_t dead_now = 0;
+  for (std::size_t vi = 0; vi < n; ++vi) {
+    if (res.dead_nodes[vi]) ++dead_now;
+  }
+  res.degradation.crashed_nodes =
+      std::max(res.degradation.crashed_nodes, dead_now);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    const int port = mate_ports[vi];
+    if (port < 0) continue;
+    if (res.dead_nodes[vi]) {
+      clear[vi] = 1;
+      ++res.degradation.dead_registers_healed;
+      continue;
+    }
+    const EdgeId e = g.incident_edges(v)[static_cast<std::size_t>(port)];
+    const NodeId u = g.other_endpoint(e, v);
+    if (res.dead_nodes[static_cast<std::size_t>(u)]) {
+      clear[vi] = 1;
+      ++res.degradation.dead_registers_healed;
+      continue;
+    }
+    const int uport = mate_ports[static_cast<std::size_t>(u)];
+    const bool consistent =
+        uport >= 0 &&
+        g.incident_edges(u)[static_cast<std::size_t>(uport)] == e;
+    if (!consistent) {
+      clear[vi] = 1;
+      ++res.degradation.torn_registers_healed;
+    }
+  }
+  for (std::size_t vi = 0; vi < n; ++vi) {
+    if (clear[vi]) mate_ports[vi] = -1;
+  }
   for (NodeId v = 0; v < g.node_count(); ++v) {
     const int port = mate_ports[static_cast<std::size_t>(v)];
     if (port < 0) continue;
     const EdgeId e = g.incident_edges(v)[static_cast<std::size_t>(port)];
     const NodeId u = g.other_endpoint(e, v);
-    const int uport = mate_ports[static_cast<std::size_t>(u)];
-    DMATCH_EXPECTS(uport >= 0 &&
-                   g.incident_edges(u)[static_cast<std::size_t>(uport)] == e);
     if (v < u) m.add(g, e);
   }
-  return {std::move(m), stats};
+  DMATCH_ENSURES(m.is_valid(g));
+  res.matching = std::move(m);
+  return res;
 }
 
 }  // namespace dmatch::congest

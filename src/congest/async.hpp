@@ -16,6 +16,23 @@
 //
 // run_synchronized() returns the same per-node results as the synchronous
 // Network for the same node RNG streams -- asserted by the test suite.
+//
+// Fault awareness: AsyncOptions carries the same FaultPlan the round
+// engine takes, and the executor injects the same seed-hashed fault
+// history — every drop/duplicate/delay/reorder decision is the identical
+// mix(run_seed, round, slot) hash the engine draws, and the crash
+// schedule is the identical compute_crash_schedule() table — so a
+// protocol run under a plan agrees between the two executors round for
+// round. Faults act on the *payload plane* only: a dropped DATA message
+// still traverses the network as a synchronizer event and is
+// acknowledged (the alpha synchronizer's control plane is reliable, as
+// in Awerbuch's model), but its payload never reaches the inbox. A
+// delayed payload is filed for a later simulated round; a duplicate adds
+// a synthetic second delivery that generates no acknowledgement. Crashed
+// nodes stop executing their protocol but keep synchronizing (they
+// acknowledge and announce SAFE with no data) so their neighbors never
+// deadlock, and crash-restarts resurrect them with fresh protocol state
+// and a cleared output register — exactly the engine's semantics.
 #pragma once
 
 #include <cstdint>
@@ -23,12 +40,21 @@
 #include <memory>
 #include <vector>
 
+#include "congest/fault.hpp"
 #include "congest/network.hpp"
 #include "congest/process.hpp"
 #include "graph/graph.hpp"
 #include "graph/matching.hpp"
 
 namespace dmatch::congest {
+
+struct AsyncOptions {
+  /// Per-message delivery delay bounds (uniform, seeded).
+  double min_delay = 0.1;
+  double max_delay = 3.0;
+  /// Fault plan with the round engine's semantics. Inactive by default.
+  FaultPlan fault;
+};
 
 struct AsyncStats {
   std::uint64_t events = 0;          // message deliveries processed
@@ -37,24 +63,49 @@ struct AsyncStats {
   std::uint64_t virtual_rounds = 0;    // max simulated round executed
   double completion_time = 0;          // async time of the last delivery
   bool completed = true;
+
+  // Fault counters, mirroring RunStats so sync/async histories can be
+  // compared directly. All zero without an active plan.
+  std::uint64_t dropped_messages = 0;
+  std::uint64_t duplicated_messages = 0;
+  std::uint64_t delayed_messages = 0;
+  std::uint64_t reordered_inboxes = 0;
+  std::uint64_t crashed_nodes = 0;
+  std::uint64_t restarted_nodes = 0;
 };
 
 /// Runs the synchronous protocol built by `factory` over an asynchronous
-/// network with per-message delays drawn uniformly from [min_delay,
-/// max_delay]. The matching registers live in `mate_ports` (size n,
-/// -1 = unmatched), exactly like Network's registers; pass a vector
-/// initialized to the starting matching.
+/// network with per-message delays drawn uniformly from
+/// [options.min_delay, options.max_delay], injecting options.fault. The
+/// matching registers live in `mate_ports` (size n, -1 = unmatched),
+/// exactly like Network's registers; pass a vector initialized to the
+/// starting matching. If `dead_out` is non-null it receives the
+/// end-of-run dead-node mask (size n, all zero without a plan).
 AsyncStats run_synchronized(const Graph& g, const ProcessFactory& factory,
                             std::vector<int>& mate_ports, std::uint64_t seed,
-                            int max_virtual_rounds, double min_delay = 0.1,
-                            double max_delay = 3.0);
+                            int max_virtual_rounds,
+                            const AsyncOptions& options = {},
+                            std::vector<char>* dead_out = nullptr);
 
-/// Convenience: run on an empty matching and return it (validated).
+/// Positional compatibility overload (fault-free).
+AsyncStats run_synchronized(const Graph& g, const ProcessFactory& factory,
+                            std::vector<int>& mate_ports, std::uint64_t seed,
+                            int max_virtual_rounds, double min_delay,
+                            double max_delay);
+
+/// Convenience: run on an empty matching and return it. Without an
+/// active plan the registers must be strictly consistent (asserted);
+/// with one, the same register healing Network applies is performed
+/// here — dead/torn registers are cleared and reported — so the
+/// returned matching is always valid over the surviving nodes.
 struct AsyncRunResult {
   Matching matching;
   AsyncStats stats;
+  DegradationReport degradation;
+  std::vector<char> dead_nodes;  // dead at end of run; empty w/o plan
 };
 AsyncRunResult run_synchronized(const Graph& g, const ProcessFactory& factory,
-                                std::uint64_t seed, int max_virtual_rounds);
+                                std::uint64_t seed, int max_virtual_rounds,
+                                const AsyncOptions& options = {});
 
 }  // namespace dmatch::congest

@@ -1,5 +1,7 @@
 #include "congest/fault.hpp"
 
+#include "support/assert.hpp"
+
 namespace dmatch::congest::fault_detail {
 
 namespace {
@@ -22,6 +24,38 @@ std::uint64_t mix(std::uint64_t a, std::uint64_t b, std::uint64_t c,
   h = finalize(h ^ (c + 0x9e3779b97f4a7c15ULL));
   h = finalize(h ^ (d + 0x9e3779b97f4a7c15ULL));
   return h;
+}
+
+CrashSchedule compute_crash_schedule(const FaultPlan& plan, NodeId n) {
+  CrashSchedule sched;
+  const auto nn = static_cast<std::size_t>(n);
+  sched.crash_at.assign(nn, kRoundNever);
+  sched.restart_at.assign(nn, kRoundNever);
+  if (plan.crash_prob > 0) {
+    const std::uint64_t bound =
+        std::max<std::uint64_t>(1, plan.crash_round_bound);
+    for (NodeId v = 0; v < n; ++v) {
+      const auto vi = static_cast<std::size_t>(v);
+      if (to_unit(mix(plan.seed, kSaltCrash, v, 0)) >= plan.crash_prob) {
+        continue;
+      }
+      sched.crash_at[vi] = mix(plan.seed, kSaltCrashRound, v, 0) % bound;
+      if (plan.restart_prob > 0 &&
+          to_unit(mix(plan.seed, kSaltRestart, v, 0)) < plan.restart_prob) {
+        sched.restart_at[vi] =
+            sched.crash_at[vi] + std::max<std::uint64_t>(1, plan.restart_delay);
+      }
+    }
+  }
+  for (const CrashEvent& ev : plan.crashes) {
+    DMATCH_EXPECTS(ev.node < n);
+    DMATCH_EXPECTS(ev.restart_round == kRoundNever ||
+                   ev.restart_round > ev.round);
+    const auto vi = static_cast<std::size_t>(ev.node);
+    sched.crash_at[vi] = ev.round;
+    sched.restart_at[vi] = ev.restart_round;
+  }
+  return sched;
 }
 
 }  // namespace dmatch::congest::fault_detail

@@ -122,6 +122,46 @@ inline double to_unit(std::uint64_t h) noexcept {
   return static_cast<double>(h >> 11) * 0x1.0p-53;
 }
 
+// Salt words separating the independent per-message / per-node fault
+// decisions derived from one (seed, nonce, round, slot) hash. Shared by
+// the synchronous round engine and the asynchronous executor so both
+// draw *identical* fault histories from the same plan.
+inline constexpr std::uint64_t kSaltDrop = 0xd509;
+inline constexpr std::uint64_t kSaltDelay = 0xde1a;
+inline constexpr std::uint64_t kSaltDelayAmount = 0xde1b;
+inline constexpr std::uint64_t kSaltDup = 0xd0b1;
+inline constexpr std::uint64_t kSaltDupAmount = 0xd0b2;
+inline constexpr std::uint64_t kSaltReorder = 0x5eff;
+inline constexpr std::uint64_t kSaltCrash = 0xc4a5;
+inline constexpr std::uint64_t kSaltCrashRound = 0xc4a6;
+inline constexpr std::uint64_t kSaltRestart = 0xc4a7;
+
+/// Per-run fault-stream seed: decorrelates the message-fault draws of
+/// successive run() invocations on one plan (`nonce` = run index).
+inline std::uint64_t run_seed(std::uint64_t plan_seed,
+                              std::uint64_t nonce) noexcept {
+  return mix(plan_seed, 0x5eedf417, nonce, 0);
+}
+
+/// Precomputed per-node crash schedule. crash_at[v] / restart_at[v] are
+/// lifetime rounds (kRoundNever = never); the node executes no step in
+/// [crash_at, restart_at).
+struct CrashSchedule {
+  std::vector<std::uint64_t> crash_at;
+  std::vector<std::uint64_t> restart_at;
+
+  [[nodiscard]] bool dead_at(NodeId v, std::uint64_t round) const noexcept {
+    const auto vi = static_cast<std::size_t>(v);
+    return crash_at[vi] <= round && round < restart_at[vi];
+  }
+};
+
+/// Draw the full crash schedule for `n` nodes from the plan seed, then
+/// layer the explicitly scheduled CrashEvents on top — every executor
+/// built with the same plan agrees on who dies when, before a single
+/// round runs. Requires all scheduled nodes < n and restart > crash.
+CrashSchedule compute_crash_schedule(const FaultPlan& plan, NodeId n);
+
 }  // namespace fault_detail
 
 }  // namespace dmatch::congest

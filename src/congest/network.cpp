@@ -14,17 +14,14 @@ namespace dmatch::congest {
 
 namespace {
 
-// Salt words separating the independent per-message / per-node fault
-// decisions derived from one (seed, nonce, round, slot) hash.
-constexpr std::uint64_t kSaltDrop = 0xd509;
-constexpr std::uint64_t kSaltDelay = 0xde1a;
-constexpr std::uint64_t kSaltDelayAmount = 0xde1b;
-constexpr std::uint64_t kSaltDup = 0xd0b1;
-constexpr std::uint64_t kSaltDupAmount = 0xd0b2;
-constexpr std::uint64_t kSaltReorder = 0x5eff;
-constexpr std::uint64_t kSaltCrash = 0xc4a5;
-constexpr std::uint64_t kSaltCrashRound = 0xc4a6;
-constexpr std::uint64_t kSaltRestart = 0xc4a7;
+// Per-message / per-node fault decision salts live in fault_detail so
+// the asynchronous executor draws identical histories from a plan.
+using fault_detail::kSaltDelay;
+using fault_detail::kSaltDelayAmount;
+using fault_detail::kSaltDrop;
+using fault_detail::kSaltDup;
+using fault_detail::kSaltDupAmount;
+using fault_detail::kSaltReorder;
 
 /// A faulty (delayed or duplicated) delivery parked until its round.
 /// `origin_round` keys the canonical per-receiver ordering, so delivery
@@ -187,35 +184,10 @@ Network::Network(const Graph& g, Model model, std::uint64_t seed,
   // who dies when, before a single round executes.
   fault_active_ = options_.fault.any();
   if (fault_active_) {
-    const FaultPlan& plan = options_.fault;
-    using fault_detail::mix;
-    using fault_detail::to_unit;
-    crash_at_.assign(n, kRoundNever);
-    restart_at_.assign(n, kRoundNever);
-    if (plan.crash_prob > 0) {
-      const std::uint64_t bound =
-          std::max<std::uint64_t>(1, plan.crash_round_bound);
-      for (NodeId v = 0; v < g.node_count(); ++v) {
-        const auto vi = static_cast<std::size_t>(v);
-        if (to_unit(mix(plan.seed, kSaltCrash, v, 0)) >= plan.crash_prob) {
-          continue;
-        }
-        crash_at_[vi] = mix(plan.seed, kSaltCrashRound, v, 0) % bound;
-        if (plan.restart_prob > 0 &&
-            to_unit(mix(plan.seed, kSaltRestart, v, 0)) < plan.restart_prob) {
-          restart_at_[vi] =
-              crash_at_[vi] + std::max<std::uint64_t>(1, plan.restart_delay);
-        }
-      }
-    }
-    for (const CrashEvent& ev : plan.crashes) {
-      DMATCH_EXPECTS(ev.node < g.node_count());
-      DMATCH_EXPECTS(ev.restart_round == kRoundNever ||
-                     ev.restart_round > ev.round);
-      const auto vi = static_cast<std::size_t>(ev.node);
-      crash_at_[vi] = ev.round;
-      restart_at_[vi] = ev.restart_round;
-    }
+    fault_detail::CrashSchedule sched =
+        fault_detail::compute_crash_schedule(options_.fault, g.node_count());
+    crash_at_ = std::move(sched.crash_at);
+    restart_at_ = std::move(sched.restart_at);
     for (NodeId v = 0; v < g.node_count(); ++v) {
       const auto vi = static_cast<std::size_t>(v);
       if (crash_at_[vi] != kRoundNever && restart_at_[vi] != kRoundNever) {
@@ -240,7 +212,7 @@ RunStats Network::run(const ProcessFactory& factory, int max_rounds) {
   const FaultPlan& plan = options_.fault;
   const std::uint64_t base_round = lifetime_rounds_;
   const std::uint64_t fseed =
-      faults ? fault_detail::mix(plan.seed, 0x5eedf417, fault_nonce_++, 0) : 0;
+      faults ? fault_detail::run_seed(plan.seed, fault_nonce_++) : 0;
   const int max_d = faults ? std::max(1, plan.max_delay) : 0;
   // Ring width: a message sent at round r is parked for round r+2 ..
   // r+1+max_d, and buckets r and r+1 are in use, so max_d+2 never wraps

@@ -12,6 +12,7 @@ namespace {
 
 constexpr unsigned kVrBits = 20;
 constexpr unsigned kAckBits = 20;
+constexpr unsigned kSackBits = 8;
 constexpr std::uint32_t kVrMax = (std::uint32_t{1} << kVrBits) - 1;
 
 void append_payload(BitWriter& w, const Message& msg) {
@@ -76,6 +77,10 @@ ResilientProcess::ResilientProcess(std::unique_ptr<Process> inner, int degree,
     : inner_(std::move(inner)), opts_(opts) {
   DMATCH_EXPECTS(inner_ != nullptr);
   DMATCH_EXPECTS(degree >= 0);
+  opts_.window = std::clamp(opts_.window, 1, static_cast<int>(kSackBits));
+  opts_.min_rto = std::max(opts_.min_rto, 1);
+  opts_.initial_rto = std::max(opts_.initial_rto, opts_.min_rto);
+  opts_.max_timeout = std::max(opts_.max_timeout, opts_.initial_rto);
   ports_.resize(static_cast<std::size_t>(degree));
   // A process born halted is never scheduled by the engine; it only ever
   // wakes when a frame arrives, and then announces its halt reactively.
@@ -85,6 +90,86 @@ ResilientProcess::ResilientProcess(std::unique_ptr<Process> inner, int degree,
 
 bool ResilientProcess::halted() const { return reactive_ || done_; }
 
+void ResilientProcess::rtt_sample(PortState& p, int sample) {
+  // BSD fixed point: srtt is the smoothed RTT × 8, rttvar the mean
+  // deviation × 4, so the EWMA gains 1/8 and 1/4 survive integer math
+  // at round-scale magnitudes.
+  if (!p.have_rtt) {
+    p.srtt = sample << 3;
+    p.rttvar = sample << 1;
+    p.have_rtt = true;
+    return;
+  }
+  int err = sample - (p.srtt >> 3);
+  p.srtt += err;
+  if (p.srtt < 1) p.srtt = 1;
+  if (err < 0) err = -err;
+  p.rttvar += err - (p.rttvar >> 2);
+}
+
+int ResilientProcess::port_rto(const PortState& p) const {
+  if (!p.have_rtt) return opts_.initial_rto;
+  const int rto = (p.srtt >> 3) + std::max(1, (p.rttvar >> 2) * 2);
+  return std::clamp(rto, opts_.min_rto, opts_.max_timeout);
+}
+
+int ResilientProcess::frame_timeout(const PortState& p,
+                                    const OutFrame& f) const {
+  // Exponential backoff per retransmission, capped.
+  const int shift = std::min(f.retries, 16);
+  const long long t = static_cast<long long>(port_rto(p)) << shift;
+  return t >= opts_.max_timeout ? opts_.max_timeout : static_cast<int>(t);
+}
+
+void ResilientProcess::accept_data(PortState& p, std::uint32_t vr, bool halt,
+                                   bool has_payload, BitReader& r) {
+  p.owe_ack = true;  // every data frame is (re-)acked
+  if (halt && !p.peer_halted) {
+    p.peer_halted = true;
+    p.peer_halt_vr = vr;
+  }
+  if (vr < p.next_vr) return;  // duplicate: discard, idempotent receive
+  if (vr == p.next_vr) {
+    InFrame f;
+    f.vr = vr;
+    f.has_payload = has_payload;
+    if (has_payload) f.payload = read_payload(r);
+    p.inq.push_back(std::move(f));
+    ++p.next_vr;
+    // The gap just closed: drain every buffered successor in order.
+    auto it = p.ooo.begin();
+    while (it != p.ooo.end() && it->vr == p.next_vr) {
+      p.inq.push_back(std::move(*it));
+      ++p.next_vr;
+      ++it;
+    }
+    p.ooo.erase(p.ooo.begin(), it);
+    return;
+  }
+  if (vr - p.next_vr > kSackBits) {
+    // Beyond any legal sender window, so this is not reordering: one
+    // side restarted. Skip ahead — the gap vrounds are lost — and drop
+    // the stale reorder buffer.
+    p.ooo.clear();
+    InFrame f;
+    f.vr = vr;
+    f.has_payload = has_payload;
+    if (has_payload) f.payload = read_payload(r);
+    p.inq.push_back(std::move(f));
+    p.next_vr = vr + 1;
+    return;
+  }
+  // In-window, out of order: buffer once, advertise in the sack bitmap.
+  auto it = p.ooo.begin();
+  while (it != p.ooo.end() && it->vr < vr) ++it;
+  if (it != p.ooo.end() && it->vr == vr) return;  // already held
+  InFrame f;
+  f.vr = vr;
+  f.has_payload = has_payload;
+  if (has_payload) f.payload = read_payload(r);
+  p.ooo.insert(it, std::move(f));
+}
+
 void ResilientProcess::absorb_frame(const Envelope& env) {
   PortState& p = ports_[static_cast<std::size_t>(env.port)];
   if (p.dead) return;
@@ -92,31 +177,54 @@ void ResilientProcess::absorb_frame(const Envelope& env) {
   BitReader r = env.msg.reader();
   if (r.read_bool()) {
     const auto ack = static_cast<std::uint32_t>(r.read(kAckBits));
-    while (!p.outq.empty() && p.outq.front().vr < ack) {
-      p.outq.pop_front();
-      p.since_tx = 0;
-      p.retries = 0;
-      p.timeout = opts_.ack_timeout;
+    const auto sack = static_cast<std::uint32_t>(r.read(kSackBits));
+    if (ack > p.last_ack) {
+      // Fresh cumulative progress: everything below `ack` arrived.
+      while (!p.outq.empty() && p.outq.front().vr < ack) {
+        const OutFrame& f = p.outq.front();
+        if (f.txed && f.rtt_eligible) rtt_sample(p, f.since_tx + 1);
+        p.outq.pop_front();
+      }
+      p.last_ack = ack;
+      p.dup_acks = 0;
+      p.fast_pending = false;
+    } else if (ack == p.last_ack && !p.outq.empty() &&
+               p.outq.front().txed && p.outq.front().vr == ack) {
+      // The peer re-acked without progress while our oldest frame is in
+      // flight: evidence it is missing.
+      ++p.dup_acks;
+    }
+    if (ack == p.last_ack) {
+      // Sack bits are relative to this cumulative ack; a stale ack's
+      // bitmap would mislabel frames, so only the current one counts.
+      bool sacked_any = false;
+      for (unsigned i = 0; i < kSackBits; ++i) {
+        if (((sack >> i) & 1u) == 0) continue;
+        const std::uint32_t sv = ack + 1 + i;
+        for (OutFrame& f : p.outq) {
+          if (f.vr > sv) break;
+          if (f.vr == sv) {
+            if (f.txed && !f.acked) {
+              f.acked = true;
+              f.rtt_eligible = false;  // arrival time now unknowable
+            }
+            sacked_any = true;
+            break;
+          }
+        }
+      }
+      if (!p.outq.empty() && p.outq.front().txed &&
+          p.outq.front().vr == ack &&
+          (sacked_any || p.dup_acks >= opts_.dupack_threshold)) {
+        p.fast_pending = true;
+      }
     }
   }
   if (!r.read_bool()) return;
   const auto vr = static_cast<std::uint32_t>(r.read(kVrBits));
   const bool halt = r.read_bool();
   const bool has_payload = r.read_bool();
-  if (halt && !p.peer_halted) {
-    p.peer_halted = true;
-    p.peer_halt_vr = vr;
-  }
-  p.owe_ack = true;       // every data frame is (re-)acked
-  if (vr < p.next_vr) return;  // duplicate: discard, idempotent receive
-  // Accept. vr > next_vr only happens across a peer restart; skipping
-  // ahead keeps both sides progressing (the skipped vrounds were lost).
-  p.next_vr = vr + 1;
-  InFrame f;
-  f.vr = vr;
-  f.has_payload = has_payload;
-  if (has_payload) f.payload = read_payload(r);
-  p.inq.push_back(std::move(f));
+  accept_data(p, vr, halt, has_payload, r);
 }
 
 bool ResilientProcess::can_advance() const {
@@ -171,45 +279,77 @@ void ResilientProcess::transmit(Context& ctx) {
   for (std::size_t port = 0; port < deg; ++port) {
     PortState& p = ports_[port];
     if (p.dead) continue;
-    if (p.peer_halted) p.outq.clear();
-    if (!p.outq.empty() && p.outq.front().txed) ++p.since_tx;
-    bool send_data = false;
-    bool is_retx = false;
-    if (!p.outq.empty()) {
-      const OutFrame& f = p.outq.front();
-      if (!f.txed) {
-        send_data = true;
-      } else if (p.since_tx >= p.timeout) {
-        if (p.retries >= opts_.max_retries) {
+    if (p.peer_halted) {
+      p.outq.clear();
+      p.fast_pending = false;
+      p.dup_acks = 0;
+    }
+    for (OutFrame& f : p.outq) {
+      if (f.txed && !f.acked) ++f.since_tx;
+    }
+    // At most one data frame per real round (the engine's one message
+    // per port per round), chosen by urgency: fast retransmit, then the
+    // oldest timed-out frame, then the next fresh frame in the window.
+    OutFrame* send = nullptr;
+    bool timeout_retx = false;
+    if (p.fast_pending) {
+      p.fast_pending = false;
+      p.dup_acks = 0;
+      if (!p.outq.empty() && p.outq.front().txed) send = &p.outq.front();
+    }
+    if (send == nullptr) {
+      for (OutFrame& f : p.outq) {
+        if (!f.txed || f.acked) continue;
+        if (f.since_tx < frame_timeout(p, f)) continue;
+        if (f.retries >= opts_.max_retries) {
           // Peer unresponsive: give the link up for dead.
           p.dead = true;
-          p.outq.clear();
-          continue;
+          break;
         }
-        send_data = true;
-        is_retx = true;
+        send = &f;
+        timeout_retx = true;
+        break;
+      }
+      if (p.dead) {
+        p.outq.clear();
+        continue;
       }
     }
+    if (send == nullptr && !p.outq.empty()) {
+      // Frames go out strictly in vr order, so the first untransmitted
+      // frame is the only launch candidate; the window (measured from
+      // the oldest unacked frame) gates it.
+      const std::uint32_t limit =
+          p.outq.front().vr + static_cast<std::uint32_t>(opts_.window);
+      for (OutFrame& f : p.outq) {
+        if (f.txed) continue;
+        if (f.vr < limit) send = &f;
+        break;
+      }
+    }
+    const bool send_data = send != nullptr;
     if (!send_data && !p.owe_ack) continue;
     BitWriter w;
     w.write_bool(p.owe_ack);
-    if (p.owe_ack) w.write(p.next_vr, kAckBits);
+    if (p.owe_ack) {
+      std::uint32_t sack = 0;
+      for (const InFrame& f : p.ooo) {
+        const std::uint32_t idx = f.vr - p.next_vr - 1;
+        if (idx < kSackBits) sack |= std::uint32_t{1} << idx;
+      }
+      w.write(p.next_vr, kAckBits);
+      w.write(sack, kSackBits);
+    }
     w.write_bool(send_data);
     if (send_data) {
-      OutFrame& f = p.outq.front();
-      w.write(f.vr, kVrBits);
-      w.write_bool(f.halt);
-      w.write_bool(f.has_payload);
-      if (f.has_payload) append_payload(w, f.payload);
-      f.txed = true;
-      if (is_retx) {
-        ++p.retries;
-        p.timeout = std::min(p.timeout * 2, opts_.max_timeout);
-      } else {
-        p.retries = 0;
-        p.timeout = opts_.ack_timeout;
-      }
-      p.since_tx = 0;
+      w.write(send->vr, kVrBits);
+      w.write_bool(send->halt);
+      w.write_bool(send->has_payload);
+      if (send->has_payload) append_payload(w, send->payload);
+      if (send->txed) send->rtt_eligible = false;  // Karn: ambiguous ack
+      if (timeout_retx) ++send->retries;
+      send->txed = true;
+      send->since_tx = 0;
     }
     p.owe_ack = false;
     ctx.send(static_cast<int>(port), Message::from_writer(std::move(w)));
@@ -218,22 +358,35 @@ void ResilientProcess::transmit(Context& ctx) {
 
 void ResilientProcess::reactive_round(Context& ctx,
                                       std::span<const Envelope> inbox) {
+  // Under faults one port can appear twice in the inbox (a delayed or
+  // duplicated frame next to a regular one), but the engine allows one
+  // send per port per round — coalesce to a single reply per port.
   for (const Envelope& env : inbox) {
     PortState& p = ports_[static_cast<std::size_t>(env.port)];
     BitReader r = env.msg.reader();
-    if (r.read_bool()) r.read(kAckBits);  // acks need no reply
+    if (r.read_bool()) {  // acks need no reply
+      r.read(kAckBits);
+      r.read(kSackBits);
+    }
     if (!r.read_bool()) continue;
     const auto vr = static_cast<std::uint32_t>(r.read(kVrBits));
     if (vr >= p.next_vr) p.next_vr = vr + 1;
+    p.owe_ack = true;
+  }
+  for (std::size_t port = 0; port < ports_.size(); ++port) {
+    PortState& p = ports_[port];
+    if (!p.owe_ack) continue;
+    p.owe_ack = false;
     // Combined ack + "halted since virtual round 0" announcement.
     BitWriter w;
     w.write_bool(true);
     w.write(p.next_vr, kAckBits);
+    w.write(0, kSackBits);
     w.write_bool(true);
     w.write(0, kVrBits);
     w.write_bool(true);   // halt
     w.write_bool(false);  // no payload
-    ctx.send(env.port, Message::from_writer(std::move(w)));
+    ctx.send(static_cast<int>(port), Message::from_writer(std::move(w)));
   }
 }
 
@@ -245,15 +398,27 @@ void ResilientProcess::post_done_round(Context& ctx,
     PortState& p = ports_[static_cast<std::size_t>(env.port)];
     if (p.dead) continue;
     BitReader r = env.msg.reader();
-    if (r.read_bool()) r.read(kAckBits);
+    if (r.read_bool()) {
+      r.read(kAckBits);
+      r.read(kSackBits);
+    }
     if (!r.read_bool()) continue;
     const auto vr = static_cast<std::uint32_t>(r.read(kVrBits));
     if (vr >= p.next_vr) p.next_vr = vr + 1;
+    p.owe_ack = true;
+  }
+  // One reply per port even if faults put two frames from it in this
+  // inbox (the engine rejects a second same-port send in one round).
+  for (std::size_t port = 0; port < ports_.size(); ++port) {
+    PortState& p = ports_[port];
+    if (!p.owe_ack) continue;
+    p.owe_ack = false;
     BitWriter w;
     w.write_bool(true);
     w.write(p.next_vr, kAckBits);
+    w.write(0, kSackBits);
     w.write_bool(false);
-    ctx.send(env.port, Message::from_writer(std::move(w)));
+    ctx.send(static_cast<int>(port), Message::from_writer(std::move(w)));
   }
 }
 
@@ -297,8 +462,8 @@ ProcessFactory resilient_factory(ProcessFactory inner, ResilientOptions opts) {
 }
 
 int resilient_round_budget(int inner_budget) {
-  if (inner_budget <= 0) return 128;
-  const long long budget = 8LL * inner_budget + 128;
+  if (inner_budget <= 0) return 256;
+  const long long budget = 2LL * inner_budget + 256;
   return budget > 1'000'000'000LL ? 1'000'000'000
                                   : static_cast<int>(budget);
 }

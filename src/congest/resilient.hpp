@@ -6,16 +6,23 @@
 // for an adversarial engine: messages may be dropped, duplicated,
 // delayed or reordered (congest/fault.hpp), and neighbors may crash.
 //
-// Per real round and per port the wrapper sends at most one *frame*
-// combining a cumulative ack with the current data payload:
+// The ARQ is a per-port selective-repeat sliding window. Per real round
+// and per port the wrapper sends at most one *frame* combining the
+// current cumulative + selective ack with at most one data payload:
 //
-//   ack_flag(1) [ack_count(20)]
+//   ack_flag(1) [cum_ack(20) sack_bitmap(8)]
 //   data_flag(1) [vround(20) halt(1) has_payload(1) payload...]
 //
-// i.e. at most 44 header bits on top of the wrapped payload — within the
+// i.e. at most 52 header bits on top of the wrapped payload — within the
 // CONGEST cap for every protocol in this repository (see PROTOCOLS.md).
-// Data frames use stop-and-wait per port: frame V+1 is withheld until V
-// is acked, retransmitting on a doubling timeout. Receive is idempotent
+// Up to `window` frames ride the link unacknowledged (window = 1
+// degenerates to the PR 2 stop-and-wait), so in the fault-free steady
+// state a virtual round costs ONE real round, not a full round trip.
+// The receiver accepts frames out of order into a reorder buffer and
+// advertises them in the sack bitmap; the sender retransmits a missing
+// frame as soon as duplicate cumulative acks (or any sack above it)
+// prove the gap — fast retransmit — and otherwise on an adaptive
+// RTT-estimated timeout with exponential backoff. Receive is idempotent
 // (frames below the cumulative counter are re-acked and discarded), so
 // duplicates and reordering are absorbed. The inner process advances to
 // virtual round V+1 only when every port has either delivered its
@@ -24,11 +31,10 @@
 //
 // Guarantees: with an inactive FaultPlan the wrapped protocol computes
 // exactly the fault-free matching (the inner process sees identical
-// inboxes and RNG draws, two real rounds per virtual round); under
-// message faults without crashes it still computes that matching unless
-// a link is falsely declared dead; under crashes it degrades gracefully
-// — surviving nodes keep making progress and the Network's register
-// healing restores a valid matching.
+// inboxes and RNG draws); under message faults without crashes it still
+// computes that matching unless a link is falsely declared dead; under
+// crashes it degrades gracefully — surviving nodes keep making progress
+// and the Network's register healing restores a valid matching.
 #pragma once
 
 #include <cstdint>
@@ -45,12 +51,22 @@
 namespace dmatch::congest {
 
 struct ResilientOptions {
-  /// Real rounds to wait for an ack before the first retransmission;
-  /// doubles per retry up to max_timeout.
-  int ack_timeout = 3;
+  /// Frames that may ride a link unacknowledged. 1 = stop-and-wait
+  /// (the PR 2 protocol); capped at the 8-bit sack bitmap width.
+  int window = 8;
+  /// Floor / ceiling of the adaptive retransmission timeout, in real
+  /// rounds. The estimator is Jacobson-style (srtt + 2·rttvar), seeded
+  /// with initial_rto until the first RTT sample arrives; per-frame
+  /// timeouts back off exponentially up to max_timeout.
+  int min_rto = 2;
+  int initial_rto = 3;
   int max_timeout = 48;
-  /// Retransmissions of one frame before the port is declared dead.
+  /// Timeout retransmissions of one frame before the port is declared
+  /// dead (fast retransmits do not count: the peer just proved alive).
   int max_retries = 12;
+  /// Non-advancing cumulative acks that trigger a fast retransmit of
+  /// the oldest unacked frame (a sack above it triggers immediately).
+  int dupack_threshold = 2;
   /// Real rounds a port may block the virtual round without delivering
   /// any frame before it is declared dead. Catches live-but-mute peers
   /// (their data always lost while our frames are acked).
@@ -71,7 +87,11 @@ class ResilientProcess final : public Process {
     bool has_payload = false;
     bool halt = false;  // sender's last frame: treat later vrounds as empty
     bool txed = false;
+    bool acked = false;  // selectively acked; retained until cum-acked
+    bool rtt_eligible = true;  // Karn: never retransmitted, safe to sample
     std::uint32_t vr = 0;
+    int since_tx = 0;  // real rounds since this frame last went out
+    int retries = 0;   // timeout retransmissions so far
   };
   struct InFrame {
     Message payload;
@@ -79,16 +99,21 @@ class ResilientProcess final : public Process {
     std::uint32_t vr = 0;
   };
   struct PortState {
-    // Sender side. front() is the in-flight frame (stop-and-wait); later
-    // entries wait their turn. The queue stays shallow — a peer cannot
-    // run more than a couple of virtual rounds ahead of its slowest link.
+    // Sender side. front() is the oldest unacknowledged frame; frames
+    // are transmitted in order, at most `window` in flight, and popped
+    // on cumulative acks only (sacked frames are retained, marked).
     std::deque<OutFrame> outq;
-    int since_tx = 0;  // real rounds since front() last went out
-    int timeout = 0;
-    int retries = 0;
-    // Receiver side: frames accepted (acked) but not yet consumed by the
-    // inner process — acks precede consumption when another port blocks.
+    int srtt = 0;    // smoothed RTT, BSD fixed point (real rounds × 8)
+    int rttvar = 0;  // RTT variance estimate (real rounds × 4)
+    bool have_rtt = false;
+    std::uint32_t last_ack = 0;  // highest cumulative ack seen
+    int dup_acks = 0;
+    bool fast_pending = false;  // front() proven missing: retransmit now
+    // Receiver side: inq holds frames accepted *in order* but not yet
+    // consumed by the inner process; ooo buffers out-of-order arrivals
+    // (sorted by vr, advertised in the sack bitmap) until the gap fills.
     std::deque<InFrame> inq;
+    std::vector<InFrame> ooo;
     std::uint32_t next_vr = 0;  // cumulative frames accepted == ack value
     bool owe_ack = false;
     int silence = 0;  // rounds this port has blocked without any frame
@@ -99,6 +124,12 @@ class ResilientProcess final : public Process {
   };
 
   void absorb_frame(const Envelope& env);
+  void accept_data(PortState& p, std::uint32_t vr, bool halt, bool has_payload,
+                   BitReader& r);
+  static void rtt_sample(PortState& p, int sample);
+  [[nodiscard]] int port_rto(const PortState& p) const;
+  [[nodiscard]] int frame_timeout(const PortState& p,
+                                  const OutFrame& f) const;
   [[nodiscard]] bool can_advance() const;
   void advance_inner(Context& ctx);
   void transmit(Context& ctx);
@@ -120,8 +151,9 @@ class ResilientProcess final : public Process {
                                                ResilientOptions opts = {});
 
 /// Real-round budget for a protocol whose fault-free budget is
-/// `inner_budget` virtual rounds: two real rounds per virtual round in
-/// the steady state, with headroom for retransmission backoff.
+/// `inner_budget` virtual rounds: the selective-repeat pipeline runs one
+/// real round per virtual round in the steady state, with 2× headroom
+/// for retransmissions plus a constant for tail drain and backoff.
 [[nodiscard]] int resilient_round_budget(int inner_budget);
 
 }  // namespace dmatch::congest

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "core/israeli_itai.hpp"
+#include "core/wrap_gain.hpp"
 #include "support/wire.hpp"
 
 namespace dmatch {
@@ -123,8 +124,11 @@ DeltaMwmResult class_greedy_mwm(const Graph& g,
   const int num_classes = static_cast<int>(
       std::ceil(std::log2(n / options.class_epsilon))) + 1;
 
+  congest::Network::Options net_options;
+  net_options.num_threads = options.num_threads;
+  net_options.fault = options.fault;
   congest::Network net(g, congest::Model::kCongest, options.seed,
-                       options.congest_factor);
+                       options.congest_factor, net_options);
 
   // class_of(e) = floor(log2(w_max / w)): class i holds weights in
   // (w_max / 2^(i+1), w_max / 2^i]. Edges lighter than the floor are
@@ -149,8 +153,12 @@ DeltaMwmResult class_greedy_mwm(const Graph& g,
     }
     // Run the per-class maximal matching even when the class is empty: the
     // real schedule does not know class occupancy (costs O(1) rounds).
+    // israeli_itai handles the fault-active case itself (resilient link
+    // layer + checkpoint/restart + healing), so the registers are always
+    // strictly consistent between classes.
     IsraeliItaiResult ii_result = israeli_itai(net, ii);
     result.stats.merge(ii_result.stats);
+    result.degradation.merge(ii_result.degradation);
   }
 
   result.matching = net.extract_matching();
@@ -163,13 +171,22 @@ DeltaMwmResult locally_dominant_mwm(const Graph& g,
 
   DeltaMwmResult result;
   result.delta_guarantee = 0.5;
+  congest::Network::Options net_options;
+  net_options.num_threads = options.num_threads;
+  net_options.fault = options.fault;
   congest::Network net(g, congest::Model::kCongest, options.seed,
-                       options.congest_factor);
-  result.stats = net.run(
-      [](NodeId v, const Graph& graph) {
-        return std::make_unique<DominantProcess>(v, graph);
-      },
-      options.max_rounds);
+                       options.congest_factor, net_options);
+  const congest::ProcessFactory factory = [](NodeId v, const Graph& graph) {
+    return std::make_unique<DominantProcess>(v, graph);
+  };
+  if (!net.fault_active()) {
+    result.stats = net.run(factory, options.max_rounds);
+    result.matching = net.extract_matching();
+    return result;
+  }
+  result.stats = run_stage_checkpointed(
+      net, factory, std::min(options.max_rounds, 4096),
+      /*max_attempts=*/3, result.degradation);
   result.matching = net.extract_matching();
   return result;
 }

@@ -32,6 +32,14 @@ struct DeltaMwmOptions {
   int max_rounds = 1 << 20;
   /// Fraction of OPT sacrificed by dropping ultra-light edges (class box).
   double class_epsilon = 0.25;
+  /// Fault plan for the box's private network. An active plan runs every
+  /// internal protocol under the resilient link layer with
+  /// checkpoint/restart recovery; crash schedules are keyed by node id,
+  /// so a driver handing its own plan down sees a consistent failure
+  /// history (the box graph preserves the caller's node-id space).
+  congest::FaultPlan fault;
+  /// Round-engine worker count for the box network (0 = hardware).
+  unsigned num_threads = 0;
 };
 
 struct DeltaMwmResult {
@@ -39,6 +47,8 @@ struct DeltaMwmResult {
   congest::RunStats stats;
   /// The approximation factor this box guarantees for the run parameters.
   double delta_guarantee = 0;
+  /// What the box gave up under an active fault plan (all-false without).
+  congest::DegradationReport degradation;
 };
 
 /// All edge weights must be positive.

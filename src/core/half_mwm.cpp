@@ -4,7 +4,6 @@
 #include <cmath>
 #include <memory>
 
-#include "congest/resilient.hpp"
 #include "core/wrap_gain.hpp"
 #include "support/wire.hpp"
 
@@ -96,26 +95,6 @@ class ApplyWrapsProcess final : public Process {
   bool halted_ = false;
 };
 
-/// Fault-mode stage runner: wrap the factory in the resilient link layer,
-/// downgrade contract trips to a degradation flag, heal afterwards.
-congest::RunStats run_stage_degraded(congest::Network& net,
-                                     congest::ProcessFactory factory,
-                                     int budget,
-                                     congest::DegradationReport& degradation) {
-  congest::RunStats stats;
-  try {
-    stats = net.run(congest::resilient_factory(std::move(factory)),
-                    congest::resilient_round_budget(budget));
-    degradation.budget_exhausted |= !stats.completed;
-  } catch (const ContractViolation&) {
-    degradation.contract_tripped = true;
-  } catch (const congest::MessageTooLarge&) {
-    degradation.contract_tripped = true;
-  }
-  net.heal_registers(&degradation);
-  return stats;
-}
-
 }  // namespace
 
 int half_mwm_iteration_budget(double delta, double epsilon) {
@@ -158,8 +137,10 @@ HalfMwmResult half_mwm(const Graph& g, const HalfMwmOptions& options) {
       return std::make_unique<GainExchangeProcess>();
     };
     if (faulty) {
-      result.stats.merge(run_stage_degraded(main_net, std::move(gain_factory),
-                                            4, result.degradation));
+      result.stats.merge(run_stage_checkpointed(main_net,
+                                                std::move(gain_factory),
+                                                4, /*max_attempts=*/3,
+                                                result.degradation));
       // Healing clears registers at (or pointing at) crashed nodes;
       // re-extracting doubles as the dead-edge sweep, so the freed
       // partners show up as positive-gain candidates below.
@@ -176,8 +157,8 @@ HalfMwmResult half_mwm(const Graph& g, const HalfMwmOptions& options) {
       keep[static_cast<std::size_t>(e)] =
           gains[static_cast<std::size_t>(e)] > 0;
       if (faulty) {
-        // Crashed nodes cannot rematch: keep their edges out of the gain
-        // graph so the (fault-free) black box never proposes them.
+        // Currently-dead nodes cannot rematch this iteration: keep their
+        // edges out of the gain graph so the black box never proposes them.
         const Edge& ed = g.edge(e);
         keep[static_cast<std::size_t>(e)] =
             keep[static_cast<std::size_t>(e)] &&
@@ -204,11 +185,20 @@ HalfMwmResult half_mwm(const Graph& g, const HalfMwmOptions& options) {
     DeltaMwmOptions box = options.box_options;
     box.seed = driver_rng();
     box.congest_factor = options.congest_factor;
+    box.num_threads = options.num_threads;
+    if (faulty) {
+      // The black box inherits the driver's plan: the gain graph keeps
+      // the caller's node-id space, so the box replays the same crash
+      // table (on its own lifetime clock) and the same message-fault
+      // model, with checkpoint/restart recovery inside.
+      box.fault = options.fault;
+    }
     DeltaMwmResult boxed =
         options.black_box == HalfMwmOptions::BlackBox::kClassGreedy
             ? class_greedy_mwm(gain_graph, box)
             : locally_dominant_mwm(gain_graph, box);
     result.stats.merge(boxed.stats);
+    result.degradation.merge(boxed.degradation);
 
     std::vector<EdgeId> m_prime;
     for (EdgeId se : boxed.matching.edges(gain_graph)) {
@@ -239,8 +229,10 @@ HalfMwmResult half_mwm(const Graph& g, const HalfMwmOptions& options) {
       // clears, so the extraction below is always a valid matching. The
       // Lemma 4.1 equality/weight-gain checks only bind for the wraps
       // that survived, so they are skipped.
-      result.stats.merge(run_stage_degraded(main_net, std::move(wrap_factory),
-                                            4, result.degradation));
+      result.stats.merge(run_stage_checkpointed(main_net,
+                                                std::move(wrap_factory),
+                                                4, /*max_attempts=*/3,
+                                                result.degradation));
       result.matching = main_net.extract_matching();
     } else {
       result.stats.merge(main_net.run(std::move(wrap_factory), 4));
@@ -262,10 +254,17 @@ HalfMwmResult half_mwm(const Graph& g, const HalfMwmOptions& options) {
 
   if (faulty) {
     // Nodes may have crashed during the last stage: heal once more and
-    // return the registers' (valid, survivor-only) matching.
+    // return the registers' (valid, survivor-only) matching plus the
+    // final dead mask so callers can verify against the surviving
+    // subgraph.
     main_net.set_matching(result.matching);
     main_net.heal_registers(&result.degradation);
     result.matching = main_net.extract_matching();
+    result.dead_nodes.assign(static_cast<std::size_t>(g.node_count()), 0);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      result.dead_nodes[static_cast<std::size_t>(v)] =
+          main_net.node_dead(v) ? 1 : 0;
+    }
   }
   return result;
 }

@@ -41,11 +41,15 @@ struct HalfMwmOptions {
   /// Worker count for the main simulated network (0 = hardware
   /// concurrency).
   unsigned num_threads = 0;
-  /// Fault plan for the main network (gain exchange + wrap application).
-  /// The delta-MWM black box runs fault-free on its private gain graph —
-  /// a documented simplification; crashed nodes are still excluded from
-  /// it, and every wrap the faults tear is healed before the next
-  /// iteration.
+  /// Fault plan for the whole driver. The main network (gain exchange +
+  /// wrap application) and the delta-MWM black box's private gain-graph
+  /// network both run under this plan: the gain graph preserves the
+  /// caller's node-id space, so the box replays the same seed-keyed
+  /// crash table on its own lifetime clock. Every stage runs with
+  /// checkpoint/restart recovery (see wrap_gain.hpp): a contract trip
+  /// inside a black box rolls the registers back to the last stage
+  /// boundary instead of aborting, and every wrap the faults tear is
+  /// healed before the next iteration.
   congest::FaultPlan fault;
 };
 
@@ -58,6 +62,10 @@ struct HalfMwmResult {
   /// The weight-gain guarantee of Lemma 4.1 only holds for the wraps that
   /// survived; the matching itself is always valid over surviving nodes.
   congest::DegradationReport degradation;
+  /// End-of-run dead mask of the main network (size n when options.fault
+  /// is active, empty otherwise) — pass to verify_matching_invariants to
+  /// check the result against the surviving subgraph.
+  std::vector<char> dead_nodes;
 };
 
 /// Iteration count ceil((3 / (2 delta)) * ln(2 / eps)).

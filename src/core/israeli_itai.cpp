@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "congest/resilient.hpp"
+#include "core/wrap_gain.hpp"
 #include "support/wire.hpp"
 
 namespace dmatch {
@@ -145,22 +146,16 @@ IsraeliItaiResult israeli_itai(congest::Network& net,
   }
 
   // Fault mode: run under the resilient link layer with a watchdog
-  // budget. A free node whose only eligible neighbors sit behind dead
-  // links never learns it should halt, so budget exhaustion is a normal
-  // degraded outcome, not an error; healing afterwards guarantees the
-  // extracted matching is valid over the surviving nodes.
-  const int watchdog = congest::resilient_round_budget(
-      std::min(options.max_rounds, 4096));
-  try {
-    result.stats = net.run(
-        congest::resilient_factory(israeli_itai_factory(options)), watchdog);
-    result.degradation.budget_exhausted = !result.stats.completed;
-  } catch (const ContractViolation&) {
-    result.degradation.contract_tripped = true;
-  } catch (const congest::MessageTooLarge&) {
-    result.degradation.contract_tripped = true;
-  }
-  net.heal_registers(&result.degradation);
+  // budget and checkpoint/restart recovery. A free node whose only
+  // eligible neighbors sit behind dead links never learns it should
+  // halt, so budget exhaustion is a normal degraded outcome, not an
+  // error; a contract trip (e.g. a stale ACCEPT surfacing after a
+  // restart) rolls the registers back and replays against the advanced
+  // fault stream. Healing afterwards guarantees the extracted matching
+  // is valid over the surviving nodes.
+  result.stats = run_stage_checkpointed(
+      net, israeli_itai_factory(options), std::min(options.max_rounds, 4096),
+      /*max_attempts=*/3, result.degradation);
   result.matching = net.extract_matching();
   return result;
 }

@@ -19,21 +19,18 @@ std::string MatchingInvariantReport::summary() const {
   return s;
 }
 
-MatchingInvariantReport verify_matching_invariants(const Graph& g,
-                                                   const Matching& m,
-                                                   const congest::Network* net,
-                                                   bool compute_ratio) {
+MatchingInvariantReport verify_matching_invariants(
+    const Graph& g, const Matching& m, const std::vector<char>& dead_mask,
+    bool compute_ratio) {
+  DMATCH_EXPECTS(dead_mask.empty() ||
+                 dead_mask.size() == static_cast<std::size_t>(g.node_count()));
   MatchingInvariantReport report;
   report.valid = m.node_count() == g.node_count() && m.is_valid(g);
   report.size = m.size();
   if (report.valid) report.weight = m.weight(g);
 
-  std::vector<char> dead(static_cast<std::size_t>(g.node_count()), 0);
-  if (net != nullptr && net->fault_active()) {
-    for (NodeId v = 0; v < g.node_count(); ++v) {
-      dead[static_cast<std::size_t>(v)] = net->node_dead(v) ? 1 : 0;
-    }
-  }
+  std::vector<char> dead = dead_mask;
+  dead.resize(static_cast<std::size_t>(g.node_count()), 0);
   report.respects_crashes = true;
   for (NodeId v = 0; v < g.node_count(); ++v) {
     if (dead[static_cast<std::size_t>(v)] && !m.is_free(v)) {
@@ -63,6 +60,20 @@ MatchingInvariantReport verify_matching_invariants(const Graph& g,
                              static_cast<double>(report.optimal_size);
   }
   return report;
+}
+
+MatchingInvariantReport verify_matching_invariants(const Graph& g,
+                                                   const Matching& m,
+                                                   const congest::Network* net,
+                                                   bool compute_ratio) {
+  std::vector<char> dead;
+  if (net != nullptr && net->fault_active()) {
+    dead.assign(static_cast<std::size_t>(g.node_count()), 0);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      dead[static_cast<std::size_t>(v)] = net->node_dead(v) ? 1 : 0;
+    }
+  }
+  return verify_matching_invariants(g, m, dead, compute_ratio);
 }
 
 }  // namespace dmatch

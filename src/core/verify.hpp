@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "congest/network.hpp"
 #include "graph/graph.hpp"
@@ -48,5 +49,13 @@ struct MatchingInvariantReport {
 MatchingInvariantReport verify_matching_invariants(
     const Graph& g, const Matching& m,
     const congest::Network* net = nullptr, bool compute_ratio = false);
+
+/// Same check against an explicit dead mask (size n, or empty for none)
+/// instead of a Network — for executors that own their registers outside
+/// a Network (the async executor's AsyncRunResult::dead_nodes, the
+/// half_mwm driver's HalfMwmResult::dead_nodes).
+MatchingInvariantReport verify_matching_invariants(
+    const Graph& g, const Matching& m, const std::vector<char>& dead,
+    bool compute_ratio = false);
 
 }  // namespace dmatch

@@ -35,6 +35,43 @@ std::vector<Weight> gain_weights(const Graph& g, const Matching& m) {
   return w;
 }
 
+StageCheckpoint StageCheckpoint::capture(const congest::Network& net) {
+  return StageCheckpoint{net.extract_matching_resilient()};
+}
+
+void StageCheckpoint::restore(congest::Network& net) const {
+  net.set_matching(matching);
+}
+
+congest::RunStats run_stage_checkpointed(
+    congest::Network& net, congest::ProcessFactory factory, int inner_budget,
+    int max_attempts, congest::DegradationReport& degradation,
+    const congest::ResilientOptions& opts) {
+  DMATCH_EXPECTS(net.fault_active());
+  DMATCH_EXPECTS(max_attempts >= 1);
+
+  const StageCheckpoint checkpoint = StageCheckpoint::capture(net);
+  const int watchdog = congest::resilient_round_budget(inner_budget);
+  congest::RunStats stats;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    try {
+      stats = net.run(congest::resilient_factory(factory, opts), watchdog);
+      if (!stats.completed) degradation.budget_exhausted = true;
+      break;
+    } catch (const ContractViolation&) {
+      degradation.contract_tripped = true;
+    } catch (const congest::MessageTooLarge&) {
+      degradation.contract_tripped = true;
+    }
+    // The replay faces a fresh adversary: the network's fault nonce and
+    // lifetime round clock advanced during the aborted run.
+    stats = congest::RunStats{};
+    checkpoint.restore(net);
+  }
+  net.heal_registers(&degradation);
+  return stats;
+}
+
 Matching apply_wraps(const Graph& g, const Matching& m,
                      std::span<const EdgeId> m_prime) {
   // Union of the wraps, deduplicated (wraps may overlap at M edges).

@@ -9,6 +9,8 @@
 
 #include <vector>
 
+#include "congest/network.hpp"
+#include "congest/resilient.hpp"
 #include "graph/graph.hpp"
 #include "graph/matching.hpp"
 
@@ -29,5 +31,47 @@ std::vector<Weight> gain_weights(const Graph& g, const Matching& m);
 /// matched edges as the paper prescribes. Returns the updated matching.
 Matching apply_wraps(const Graph& g, const Matching& m,
                      std::span<const EdgeId> m_prime);
+
+// --- Checkpoint/restart for composed drivers (Algorithm 5 stages) ---
+//
+// A driver that chains protocol stages on one Network (gain exchange,
+// black-box delta-MWM, wrap application) owns the only authoritative
+// protocol state between stages: the matching registers. StageCheckpoint
+// snapshots that state at a stage boundary; if a fault trips a protocol
+// contract mid-stage (DMATCH_ASSERT inside a black box, an over-cap
+// message, ...), the driver restores the checkpoint and replays the
+// stage instead of aborting. A replay faces a *different* adversary —
+// the Network's fault-stream nonce and lifetime round clock advanced —
+// so a transient contract trip is survivable, while a deterministic one
+// exhausts max_attempts and degrades gracefully through healing.
+
+/// Register snapshot at a stage boundary. Capture never mutates the
+/// network (tolerates torn registers by dropping them, like resilient
+/// extraction); restore rewrites all registers to the snapshot.
+struct StageCheckpoint {
+  Matching matching;
+
+  [[nodiscard]] static StageCheckpoint capture(const congest::Network& net);
+  void restore(congest::Network& net) const;
+};
+
+/// Run one protocol stage under the resilient link layer with
+/// checkpoint/restart recovery. Requires an active fault plan (the
+/// fault-free path has no adversary and needs no checkpoints):
+///
+///   1. snapshot the registers;
+///   2. run `factory` wrapped in resilient_factory(opts) with a
+///      resilient_round_budget(inner_budget) watchdog;
+///   3. on a contract trip or over-cap message, record it in
+///      `degradation`, roll the registers back to the snapshot and
+///      retry (up to max_attempts runs in total);
+///   4. heal the registers afterwards in every case.
+///
+/// Returns the stats of the successful run (zeros if every attempt
+/// tripped; the registers then hold the healed checkpoint state).
+congest::RunStats run_stage_checkpointed(
+    congest::Network& net, congest::ProcessFactory factory, int inner_budget,
+    int max_attempts, congest::DegradationReport& degradation,
+    const congest::ResilientOptions& opts = {});
 
 }  // namespace dmatch

@@ -8,9 +8,11 @@
 #include <memory>
 #include <vector>
 
+#include "congest/async.hpp"
 #include "congest/fault.hpp"
 #include "congest/network.hpp"
 #include "congest/resilient.hpp"
+#include "core/wrap_gain.hpp"
 #include "core/bipartite_mcm.hpp"
 #include "core/general_mcm.hpp"
 #include "core/half_mwm.hpp"
@@ -308,8 +310,10 @@ TEST(Resilient, MasksMessageFaults) {
 }
 
 TEST(Resilient, RoundBudgetFormula) {
-  EXPECT_EQ(congest::resilient_round_budget(0), 128);
-  EXPECT_EQ(congest::resilient_round_budget(10), 8 * 10 + 128);
+  // Selective repeat pipelines one virtual round per real round in the
+  // steady state; 2x plus a constant covers retransmissions and tails.
+  EXPECT_EQ(congest::resilient_round_budget(0), 256);
+  EXPECT_EQ(congest::resilient_round_budget(10), 2 * 10 + 256);
   EXPECT_EQ(congest::resilient_round_budget(1 << 30), 1000000000);
 }
 
@@ -364,6 +368,305 @@ TEST(Verify, RatioAgainstSurvivingOptimum) {
   EXPECT_GE(report.optimal_size, report.size);
   EXPECT_GE(report.ratio, 0.5);  // maximal matchings are 1/2-approximate
   EXPECT_LE(report.ratio, 1.0);
+}
+
+TEST(Resilient, MasksReorderHeavySchedules) {
+  // Reordering at 0.9 with long delays and duplicates: selective repeat
+  // reassembles every virtual-round inbox in order, so the protocol must
+  // still behave exactly as if the network were reliable.
+  const std::uint64_t seed = 21;
+  const Graph g = gen::gnp(100, 0.05, seed);
+  Network::Options options;
+  options.fault.drop_prob = 0.1;
+  options.fault.duplicate_prob = 0.3;
+  options.fault.delay_prob = 0.4;
+  options.fault.max_delay = 5;
+  options.fault.reorder_prob = 0.9;
+  options.fault.seed = seed;
+  Network net(g, Model::kCongest, seed, 48, options);
+  const IsraeliItaiResult result = israeli_itai(net);
+  EXPECT_TRUE(result.matching.is_valid(g));
+  EXPECT_TRUE(result.matching.is_maximal(g));
+  EXPECT_FALSE(result.degradation.contract_tripped);
+  EXPECT_GT(result.stats.reordered_inboxes, 0u);
+}
+
+TEST(Resilient, PipeliningBeatsStopAndWait) {
+  // window = 1 degenerates to stop-and-wait; window = 8 pipelines up to a
+  // full window per RTT. Under a delay-heavy plan the pipelined run must
+  // finish in strictly fewer real rounds — and, because both deliver the
+  // identical virtual-round inboxes, with the identical matching.
+  const std::uint64_t seed = 13;
+  const Graph g = gen::gnp(100, 0.05, seed);
+  FaultPlan plan;
+  plan.drop_prob = 0.1;
+  plan.delay_prob = 0.4;
+  plan.max_delay = 4;
+  plan.seed = seed;
+  const auto run_with = [&](int window) {
+    Network::Options options;
+    options.num_threads = 1;
+    options.fault = plan;
+    Network net(g, Model::kCongest, seed, 48, options);
+    congest::ResilientOptions ropts;
+    ropts.window = window;
+    const RunStats stats =
+        net.run(congest::resilient_factory(israeli_itai_factory(), ropts),
+                congest::resilient_round_budget(1 << 12));
+    EXPECT_TRUE(stats.completed) << "window=" << window;
+    return std::pair{stats.rounds, net.extract_matching()};
+  };
+  const auto [rounds_sr, matching_sr] = run_with(8);
+  const auto [rounds_sw, matching_sw] = run_with(1);
+  EXPECT_LT(rounds_sr, rounds_sw);
+  EXPECT_TRUE(matching_sr == matching_sw);
+}
+
+TEST(Resilient, LongProtocolSweepsManyWindows) {
+  // 300 virtual rounds on every link: the sequence numbers cross the
+  // 8-frame window boundary dozens of times (the 20-bit sequence space
+  // itself never wraps — ResilientProcess asserts the protocol stays
+  // under 2^20 virtual rounds). Every payload must arrive exactly once,
+  // in order: each node counts its deliveries.
+  constexpr int kRounds = 300;
+  class CountingChatter final : public congest::Process {
+   public:
+    explicit CountingChatter(int* count) : count_(count) {}
+    void on_round(congest::Context& ctx,
+                  std::span<const congest::Envelope> inbox) override {
+      *count_ += static_cast<int>(inbox.size());
+      if (ctx.round() < kRounds) {
+        BitWriter w;
+        w.write_bool(true);
+        const congest::Message msg =
+            congest::Message::from_writer(std::move(w));
+        for (int p = 0; p < ctx.degree(); ++p) ctx.send(p, msg);
+      }
+      halted_ = ctx.round() >= kRounds;
+    }
+    [[nodiscard]] bool halted() const override { return halted_; }
+
+   private:
+    int* count_;
+    bool halted_ = false;
+  };
+  const Graph g = gen::cycle(6);
+  std::vector<int> counts(static_cast<std::size_t>(g.node_count()), 0);
+  Network::Options options;
+  options.fault = lossy_plan(29);
+  Network net(g, Model::kCongest, 29, 48, options);
+  const RunStats stats = net.run(
+      congest::resilient_factory(
+          [&counts](NodeId v,
+                    const Graph&) -> std::unique_ptr<congest::Process> {
+            return std::make_unique<CountingChatter>(
+                &counts[static_cast<std::size_t>(v)]);
+          }),
+      congest::resilient_round_budget(8 * kRounds));
+  EXPECT_TRUE(stats.completed);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_EQ(counts[static_cast<std::size_t>(v)], 2 * kRounds)
+        << "node " << v;
+  }
+}
+
+TEST(Resilient, WindowedDeterministicAcrossThreadCounts) {
+  // The ARQ keeps the engine's bit-identical guarantee for any thread
+  // count, including with a non-default window.
+  const std::uint64_t seed = 43;
+  const Graph g = gen::gnp(150, 0.04, seed);
+  congest::ResilientOptions ropts;
+  ropts.window = 3;
+  Network::Options ref_options;
+  ref_options.num_threads = 1;
+  ref_options.fault = harsh_plan(seed);
+  Network ref(g, Model::kCongest, seed, 48, ref_options);
+  const RunStats expected = ref.run(
+      congest::resilient_factory(israeli_itai_factory(), ropts),
+      congest::resilient_round_budget(1 << 12));
+  const Matching expected_m = ref.extract_matching_resilient();
+  for (const unsigned threads : kThreadCounts) {
+    Network::Options options = ref_options;
+    options.num_threads = threads;
+    Network net(g, Model::kCongest, seed, 48, options);
+    const RunStats got = net.run(
+        congest::resilient_factory(israeli_itai_factory(), ropts),
+        congest::resilient_round_budget(1 << 12));
+    expect_same_stats(expected, got, threads);
+    EXPECT_TRUE(expected_m == net.extract_matching_resilient())
+        << "threads=" << threads;
+  }
+}
+
+TEST(AsyncFaults, MessageFaultCountersObservable) {
+  // A fault plan handed to the alpha synchronizer must actually fire (no
+  // silent no-op path) and be visible in AsyncStats.
+  class Chatter final : public congest::Process {
+   public:
+    void on_round(congest::Context& ctx,
+                  std::span<const congest::Envelope>) override {
+      if (ctx.round() < 12) {
+        BitWriter w;
+        w.write_bool(true);
+        const congest::Message msg =
+            congest::Message::from_writer(std::move(w));
+        for (int p = 0; p < ctx.degree(); ++p) ctx.send(p, msg);
+      }
+      halted_ = ctx.round() >= 12;
+    }
+    [[nodiscard]] bool halted() const override { return halted_; }
+
+   private:
+    bool halted_ = false;
+  };
+  const Graph g = gen::gnp(80, 0.06, 41);
+  congest::AsyncOptions aopt;
+  aopt.fault = lossy_plan(41);
+  const congest::AsyncRunResult result = congest::run_synchronized(
+      g,
+      [](NodeId, const Graph&) -> std::unique_ptr<congest::Process> {
+        return std::make_unique<Chatter>();
+      },
+      41, 256, aopt);
+  EXPECT_TRUE(result.stats.completed);
+  EXPECT_GT(result.stats.dropped_messages, 0u);
+  EXPECT_GT(result.stats.duplicated_messages, 0u);
+  EXPECT_GT(result.stats.delayed_messages, 0u);
+  EXPECT_GT(result.stats.reordered_inboxes, 0u);
+}
+
+TEST(AsyncFaults, AgreesWithEngineUnderDrops) {
+  // The alpha synchronizer draws the identical per-message fault hashes
+  // as the round engine, so a drops-only plan produces bit-identical
+  // histories: same drop count, same healed matching.
+  const Graph g = gen::gnp(120, 0.06, 7);
+  FaultPlan plan;
+  plan.drop_prob = 0.1;
+  plan.seed = 11;
+  Network::Options nopt;
+  nopt.fault = plan;
+  Network net(g, Model::kCongest, 7, 48, nopt);
+  const RunStats sync_stats = net.run(israeli_itai_factory(), 4096);
+  const Matching sync_m = net.extract_matching_resilient();
+
+  congest::AsyncOptions aopt;
+  aopt.fault = plan;
+  const congest::AsyncRunResult async_result =
+      congest::run_synchronized(g, israeli_itai_factory(), 7, 4096, aopt);
+  EXPECT_EQ(sync_stats.dropped_messages, async_result.stats.dropped_messages);
+  EXPECT_TRUE(sync_m == async_result.matching);
+  const MatchingInvariantReport check = verify_matching_invariants(
+      g, async_result.matching, async_result.dead_nodes);
+  EXPECT_TRUE(check.ok()) << check.summary();
+}
+
+TEST(AsyncFaults, AgreesWithEngineUnderCrashRestart) {
+  // Crash / crash-restart schedules are drawn from the plan seed alone,
+  // so both executors agree on who dies when — and on the healed result.
+  const Graph g = gen::gnp(120, 0.06, 7);
+  FaultPlan plan;
+  plan.drop_prob = 0.05;
+  plan.crashes.push_back({3, 4, 20});
+  plan.crashes.push_back({10, 6, kRoundNever});
+  plan.crashes.push_back({55, 2, 12});
+  plan.seed = 9;
+  Network::Options nopt;
+  nopt.fault = plan;
+  Network net(g, Model::kCongest, 7, 48, nopt);
+  const RunStats sync_stats = net.run(israeli_itai_factory(), 4096);
+  net.heal_registers(nullptr);
+  const Matching sync_m = net.extract_matching();
+
+  congest::AsyncOptions aopt;
+  aopt.fault = plan;
+  const congest::AsyncRunResult async_result =
+      congest::run_synchronized(g, israeli_itai_factory(), 7, 4096, aopt);
+  EXPECT_EQ(sync_stats.dropped_messages, async_result.stats.dropped_messages);
+  EXPECT_EQ(sync_stats.restarted_nodes, async_result.stats.restarted_nodes);
+  EXPECT_TRUE(sync_m == async_result.matching);
+  ASSERT_EQ(async_result.dead_nodes.size(),
+            static_cast<std::size_t>(g.node_count()));
+  EXPECT_TRUE(async_result.dead_nodes[10]);  // never restarts
+  EXPECT_FALSE(async_result.dead_nodes[3]);  // restarted at round 20
+  const MatchingInvariantReport check = verify_matching_invariants(
+      g, async_result.matching, async_result.dead_nodes);
+  EXPECT_TRUE(check.ok()) << check.summary();
+}
+
+TEST(Checkpoint, RetriesTransientContractTrip) {
+  // A black box whose internal assert trips on the first attempt only:
+  // run_stage_checkpointed must roll the registers back to the stage
+  // boundary, replay, and come back with the checkpointed matching
+  // intact — no abort reaches the caller.
+  class Tripping final : public congest::Process {
+   public:
+    explicit Tripping(bool trip) : trip_(trip) {}
+    void on_round(congest::Context&,
+                  std::span<const congest::Envelope>) override {
+      DMATCH_ASSERT(!trip_);  // the recoverable black-box contract
+      halted_ = true;
+    }
+    [[nodiscard]] bool halted() const override { return halted_; }
+
+   private:
+    const bool trip_;
+    bool halted_ = false;
+  };
+  const Graph g = gen::cycle(8);
+  Network::Options options;
+  options.num_threads = 1;
+  options.fault.drop_prob = 0.05;
+  options.fault.seed = 3;
+  Network net(g, Model::kCongest, 3, 48, options);
+  Matching initial(g.node_count());
+  initial.add(g, 0);
+  net.set_matching(initial);
+
+  auto runs = std::make_shared<int>(0);
+  congest::ProcessFactory factory =
+      [runs](NodeId v, const Graph&) -> std::unique_ptr<congest::Process> {
+    if (v == 0) ++*runs;
+    return std::make_unique<Tripping>(*runs == 1 && v == 0);
+  };
+  congest::DegradationReport degradation;
+  const RunStats stats = run_stage_checkpointed(net, factory, 16,
+                                                /*max_attempts=*/3,
+                                                degradation);
+  EXPECT_EQ(*runs, 2);  // attempt 1 tripped, attempt 2 succeeded
+  EXPECT_TRUE(degradation.contract_tripped);
+  EXPECT_TRUE(stats.completed);
+  EXPECT_TRUE(net.extract_matching() == initial);
+}
+
+TEST(Torture, HalfMwmCrashRestartSweep) {
+  // Acceptance gate: half_mwm completes with a valid matching under
+  // every crash-restart torture schedule with zero assert-aborts — both
+  // the main network and the black box run the full fault plan, with
+  // checkpoint/restart recovery inside every stage.
+  for (const std::uint64_t seed : {101u, 202u, 303u}) {
+    for (const bool dominant : {false, true}) {
+      HalfMwmOptions options;
+      options.seed = seed;
+      options.max_iterations_override = 5;
+      options.black_box = dominant
+                              ? HalfMwmOptions::BlackBox::kLocallyDominant
+                              : HalfMwmOptions::BlackBox::kClassGreedy;
+      options.fault = harsh_plan(seed);
+      options.fault.crash_prob = 0.1;
+      options.fault.restart_prob = 0.7;
+      const Graph g = gen::with_uniform_weights(
+          gen::gnp(60, 0.08, seed), 1.0, 9.0, seed);
+      const HalfMwmResult result = half_mwm(g, options);
+      EXPECT_TRUE(result.matching.is_valid(g))
+          << "seed=" << seed << " dominant=" << dominant;
+      ASSERT_EQ(result.dead_nodes.size(),
+                static_cast<std::size_t>(g.node_count()));
+      const MatchingInvariantReport check = verify_matching_invariants(
+          g, result.matching, result.dead_nodes, /*compute_ratio=*/true);
+      EXPECT_TRUE(check.ok())
+          << check.summary() << " seed=" << seed << " dominant=" << dominant;
+    }
+  }
 }
 
 TEST(Drivers, GeneralMcmDegradesGracefully) {

@@ -24,9 +24,13 @@
 //   --dot FILE       also write a Graphviz rendering with the matching
 //
 // Fault injection (maximal, mcm-bipartite, mcm-general, mwm):
-//   --fault-drop P   per-message drop probability
-//   --fault-crash P  per-node crash probability
-//   --fault-seed S   seed of the fault stream (default 1)
+//   --fault-drop P     per-message drop probability
+//   --fault-dup P      per-message duplication probability
+//   --fault-delay P    per-message delay probability
+//   --fault-reorder P  per-round inbox reordering probability
+//   --fault-crash P    per-node crash probability
+//   --fault-restart P  probability a crashed node restarts
+//   --fault-seed S     seed of the fault stream (default 1)
 // With any fault option the run degrades gracefully and a JSON
 // degradation report line is printed after the matching.
 #include <fstream>
@@ -125,7 +129,11 @@ Graph load_graph(const Args& args) {
 congest::FaultPlan parse_fault_plan(const Args& args) {
   congest::FaultPlan plan;
   plan.drop_prob = std::stod(args.get("fault-drop", "0"));
+  plan.duplicate_prob = std::stod(args.get("fault-dup", "0"));
+  plan.delay_prob = std::stod(args.get("fault-delay", "0"));
+  plan.reorder_prob = std::stod(args.get("fault-reorder", "0"));
   plan.crash_prob = std::stod(args.get("fault-crash", "0"));
+  plan.restart_prob = std::stod(args.get("fault-restart", "0"));
   plan.seed = std::stoull(args.get("fault-seed", "1"));
   return plan;
 }

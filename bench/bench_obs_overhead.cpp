@@ -1,0 +1,201 @@
+// E21 -- observability overhead: wall time of engine workloads with no
+// Observer attached vs a fully enabled Observer (metrics + trace + link
+// profiler). The claim (docs/PROTOCOLS.md "Telemetry"): full
+// observation slows the round loop of the paper's protocols by < 5%, an
+// unattached Observer costs one branch per round (indistinguishable
+// from baseline), and -DDMATCH_OBS_DISABLED removes every hook at
+// preprocessing time -- the compiled-out arm is reported here when the
+// binary is built that way, and is zero-cost by construction.
+//
+// Two workloads:
+//  * protocol -- Israeli-Itai maximal matching, the representative
+//    round loop the < 5% claim is about (real per-node compute, real
+//    message mix);
+//  * flood -- every node sends on every port every round, an
+//    adversarial lower bound on per-message baseline work that isolates
+//    the hook's raw cost (reported for transparency; it may exceed the
+//    protocol number since the baseline does almost nothing per
+//    message).
+#include <chrono>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "congest/network.hpp"
+#include "core/israeli_itai.hpp"
+#include "graph/generators.hpp"
+#include "obs/obs.hpp"
+#include "support/table.hpp"
+#include "support/wire.hpp"
+
+using namespace dmatch;
+
+namespace {
+
+using congest::Context;
+using congest::Envelope;
+using congest::Message;
+using congest::Model;
+using congest::Network;
+using congest::Process;
+
+/// Same flooding workload as E18: every node sends on every port each
+/// round, so the run is dominated by the per-message path the observer
+/// hooks (routing + link profiling + bits histogram).
+class Flood final : public Process {
+ public:
+  explicit Flood(int rounds) : rounds_(rounds) {}
+
+  void on_round(Context& ctx, std::span<const Envelope> inbox) override {
+    (void)inbox;
+    if (ctx.round() < rounds_) {
+      BitWriter w;
+      w.write(static_cast<std::uint64_t>(ctx.round()), 32);
+      const Message msg = Message::from_writer(std::move(w));
+      for (int p = 0; p < ctx.degree(); ++p) ctx.send(p, msg);
+    }
+    halted_ = ctx.round() >= rounds_;
+  }
+
+  [[nodiscard]] bool halted() const override { return halted_; }
+
+ private:
+  int rounds_;
+  bool halted_ = false;
+};
+
+Network::Options observed_options(obs::Observer* observer) {
+  Network::Options opt;
+  opt.num_threads = 1;
+#ifndef DMATCH_OBS_DISABLED
+  opt.observer = observer;
+#else
+  (void)observer;
+#endif
+  return opt;
+}
+
+double flood_once(const Graph& g, int rounds, obs::Observer* observer) {
+  Network net(g, Model::kLocal, 1, 48, observed_options(observer));
+  const auto start = std::chrono::steady_clock::now();
+  (void)net.run(
+      [rounds](NodeId, const Graph&) { return std::make_unique<Flood>(rounds); },
+      rounds + 2);
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+double protocol_once(const Graph& g, obs::Observer* observer) {
+  Network net(g, Model::kCongest, 21, 48, observed_options(observer));
+  const auto start = std::chrono::steady_clock::now();
+  (void)israeli_itai(net);
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Min over `reps` timed runs of each arm (after one warm-up),
+/// interleaved base/observed so slow drift on a shared machine hits
+/// both arms equally; min-of-N is the usual noise-resistant point
+/// estimate for a deterministic workload.
+struct Pair {
+  double base = 1e100;
+  double observed = 1e100;
+};
+Pair best_of(int reps, obs::Observer* observer,
+             const std::function<double(obs::Observer*)>& run) {
+  run(nullptr);  // warm-up: pool, mailboxes, allocator
+  Pair best;
+  for (int i = 0; i < reps; ++i) {
+    best.base = std::min(best.base, run(nullptr));
+    best.observed = std::min(best.observed, run(observer));
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E21",
+                "full observation slows the protocol round loop by < 5%");
+  bench::JsonReport report("obs_overhead");
+
+#ifdef DMATCH_OBS_DISABLED
+  std::cout << "built with -DDMATCH_OBS_DISABLED: every hook is compiled "
+               "out,\noverhead is 0% by construction (both arms below run "
+               "the identical\nbaseline path).\n\n";
+#endif
+
+  const int reps = 5;
+
+  struct CellSpec {
+    const char* workload;
+    NodeId n;
+    std::function<double(obs::Observer*)> run;
+  };
+  std::vector<CellSpec> cells;
+  for (const NodeId n : {100000, 300000}) {
+    const auto g = std::make_shared<Graph>(gen::gnp(n, 8.0 / n, 7));
+    cells.push_back(
+        {"protocol", n, [g](obs::Observer* ob) { return protocol_once(*g, ob); }});
+  }
+  for (const NodeId n : {20000, 60000}) {
+    const auto g = std::make_shared<Graph>(gen::gnp(n, 8.0 / n, 7));
+    cells.push_back({"flood", n, [g](obs::Observer* ob) {
+                       return flood_once(*g, 12, ob);
+                     }});
+  }
+
+  Table table({"workload", "n", "baseline s", "observed s", "overhead",
+               "events", "messages"});
+  for (const CellSpec& spec : cells) {
+    // Fresh fully enabled Observer per cell so buffers do not carry
+    // over between measurements.
+    obs::Observer ob;
+    const Pair t = best_of(reps, &ob, spec.run);
+    const double overhead = t.observed / t.base - 1.0;
+    const std::uint64_t events = ob.trace_sink().event_count();
+    const std::uint64_t messages =
+        ob.metrics().merged_value(ob.ids().engine_messages);
+
+    table.row()
+        .cell(spec.workload)
+        .cell(std::int64_t{spec.n})
+        .cell(t.base, 4)
+        .cell(t.observed, 4)
+        .cell(overhead, 4)
+        .cell(static_cast<std::int64_t>(events))
+        .cell(static_cast<std::int64_t>(messages));
+    std::ostringstream cell;
+    cell << "{\"experiment\":\"E21\",\"workload\":\"" << spec.workload
+         << "\",\"n\":" << spec.n << ",\"baseline_seconds\":" << t.base
+         << ",\"observed_seconds\":" << t.observed
+         << ",\"overhead\":" << overhead << ",\"trace_events\":" << events
+         << ",\"observed_messages\":" << messages << ",\"compiled_out\":"
+#ifdef DMATCH_OBS_DISABLED
+         << "true"
+#else
+         << "false"
+#endif
+         << "}";
+    std::cout << cell.str() << "\n";
+    report.cell(cell.str());
+  }
+  std::cout << "\n";
+  table.print(std::cout);
+  const std::string written = report.write();
+  if (!written.empty()) std::cout << "\nwrote " << written << "\n";
+  bench::footer(
+      "Reading: the protocol rows stay below 0.05 (the per-message hook is "
+      "three\nadds on pre-resolved slab pointers); the flood rows bound the "
+      "hook's raw\ncost against a baseline that does almost nothing per "
+      "message. The warm-up\nrun and interleaved best-of-5 repeats keep "
+      "allocator and scheduler noise\nout of the ratio. An unattached "
+      "Observer is a single branch per round and\nmeasures as baseline.");
+  return 0;
+}

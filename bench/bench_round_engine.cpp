@@ -7,6 +7,7 @@
 #include <chrono>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -81,6 +82,7 @@ int main() {
   std::vector<unsigned> thread_counts = {1, 2, 4};
   if (hw > 4) thread_counts.push_back(hw);
 
+  bench::JsonReport report("round_engine");
   Table table({"n", "threads", "rounds", "messages", "seconds",
                "node steps/s", "speedup vs 1T"});
   for (const NodeId n : {10000, 100000}) {
@@ -104,18 +106,22 @@ int main() {
           .cell(s.seconds, 3)
           .cell(steps_per_sec, 0)
           .cell(speedup, 2);
-      std::cout << "{\"bench\":\"round_engine\",\"n\":" << n
-                << ",\"threads\":" << threads
-                << ",\"rounds\":" << s.stats.rounds
-                << ",\"messages\":" << s.stats.messages
-                << ",\"seconds\":" << s.seconds
-                << ",\"node_steps_per_sec\":" << steps_per_sec
-                << ",\"speedup_vs_1t\":" << speedup
-                << ",\"hardware_concurrency\":" << hw << "}\n";
+      std::ostringstream cell;
+      cell << "{\"bench\":\"round_engine\",\"n\":" << n
+           << ",\"threads\":" << threads << ",\"rounds\":" << s.stats.rounds
+           << ",\"messages\":" << s.stats.messages
+           << ",\"seconds\":" << s.seconds
+           << ",\"node_steps_per_sec\":" << steps_per_sec
+           << ",\"speedup_vs_1t\":" << speedup
+           << ",\"hardware_concurrency\":" << hw << "}";
+      std::cout << cell.str() << "\n";
+      report.cell(cell.str());
     }
   }
   std::cout << "\n";
   table.print(std::cout);
+  const std::string written = report.write();
+  if (!written.empty()) std::cout << "\nwrote " << written << "\n";
 
   bench::footer(
       "Reading: node steps/s should scale with threads up to the machine's "

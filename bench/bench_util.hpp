@@ -1,6 +1,8 @@
 // Shared helpers for the experiment binaries.
 #pragma once
 
+#include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -15,5 +17,55 @@ inline void banner(const std::string& id, const std::string& claim) {
 inline void footer(const std::string& reading) {
   std::cout << "\n" << reading << "\n\n";
 }
+
+/// First line of `cmd`'s stdout, "" on any failure.
+inline std::string shell_line(const char* cmd) {
+  FILE* pipe = ::popen(cmd, "r");
+  if (pipe == nullptr) return "";
+  char buf[256] = {};
+  std::string out;
+  if (std::fgets(buf, sizeof(buf), pipe) != nullptr) out = buf;
+  ::pclose(pipe);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  return out;
+}
+
+/// Machine-readable result file: collects one JSON object per measured
+/// cell and writes `BENCH_<name>.json` at the repo root (where
+/// tools/regen_experiments.py picks it up), schema
+/// `{"bench": ..., "commit": ..., "cells": [...]}`. The commit is read
+/// from git at run time; if the binary runs outside the work tree the
+/// file lands in the current directory with an empty commit instead.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  /// Add one cell; `json_object` must be a complete JSON object
+  /// (typically the same text the bench prints as a JSON line).
+  void cell(const std::string& json_object) { cells_.push_back(json_object); }
+
+  /// Write the file; returns the path written ("" on failure).
+  std::string write() const {
+    const std::string root = shell_line("git rev-parse --show-toplevel 2>/dev/null");
+    const std::string commit = shell_line("git rev-parse --short HEAD 2>/dev/null");
+    const std::string path =
+        (root.empty() ? std::string{} : root + "/") + "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out.good()) return "";
+    out << "{\"bench\": \"" << name_ << "\", \"commit\": \"" << commit
+        << "\", \"cells\": [\n";
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      out << "  " << cells_[i] << (i + 1 < cells_.size() ? "," : "") << "\n";
+    }
+    out << "]}\n";
+    return out.good() ? path : "";
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::string> cells_;
+};
 
 }  // namespace dmatch::bench

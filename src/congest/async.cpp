@@ -134,6 +134,20 @@ class AlphaSynchronizerRun {
             static_cast<std::uint64_t>(g.degree(v));
       }
     }
+    DMATCH_OBS(if (options_.observer != nullptr) {
+      // Single-threaded executor: one shard handle does all the writing.
+      (void)options_.observer->begin_run(1, g);
+      sobs_ = options_.observer->shard(0);
+      clock_base_ = options_.observer->clock();
+      if (slot_offset_.empty()) {
+        slot_offset_.resize(static_cast<std::size_t>(g.node_count()) + 1, 0);
+        for (NodeId v = 0; v < g.node_count(); ++v) {
+          slot_offset_[static_cast<std::size_t>(v) + 1] =
+              slot_offset_[static_cast<std::size_t>(v)] +
+              static_cast<std::uint64_t>(g.degree(v));
+        }
+      }
+    })
   }
 
   AsyncStats run(std::vector<char>* dead_out) {
@@ -161,6 +175,7 @@ class AlphaSynchronizerRun {
     } else if (dead_out != nullptr) {
       dead_out->assign(static_cast<std::size_t>(g_.node_count()), 0);
     }
+    DMATCH_OBS(if (sobs_ != nullptr) finish_obs();)
     return stats_;
   }
 
@@ -337,6 +352,12 @@ class AlphaSynchronizerRun {
     node.safe_count.erase(round - 2);  // stale bookkeeping
     stats_.virtual_rounds = std::max(
         stats_.virtual_rounds, static_cast<std::uint64_t>(round));
+    if (static_cast<std::size_t>(round) >= stats_.round_payloads.size()) {
+      // Grown before the degenerate-crash return below so dead nodes'
+      // silent rounds still appear (as zeros) in the per-round curve.
+      stats_.round_payloads.resize(static_cast<std::size_t>(round) + 1, 0);
+      DMATCH_OBS(obs_round_bits_.resize(stats_.round_payloads.size(), 0);)
+    }
     const double now = stats_.completion_time;
 
     if (fault_ &&
@@ -403,6 +424,11 @@ class AlphaSynchronizerRun {
             std::swap(inbox[i], inbox[j]);
           }
           ++stats_.reordered_inboxes;
+          DMATCH_OBS(if (sobs_ != nullptr) {
+            sobs_->trace_at(clock_base_ + static_cast<std::uint64_t>(round),
+                            obs::EventType::kFaultReorder,
+                            static_cast<std::uint32_t>(v));
+          })
         }
       }
     }
@@ -417,10 +443,21 @@ class AlphaSynchronizerRun {
 
     node.pending_acks = static_cast<int>(outbox.size());
     node.announced_safe = false;
+    stats_.round_payloads[static_cast<std::size_t>(round)] +=
+        static_cast<std::uint64_t>(outbox.size());
     for (auto& [port, msg] : outbox) {
       const EdgeId e = g_.incident_edges(v)[static_cast<std::size_t>(port)];
       const NodeId u = g_.other_endpoint(e, v);
       const int uport = g_.port_of_edge(u, e);
+      DMATCH_OBS(if (sobs_ != nullptr) {
+        // Same sender-side slot the engine's NodeContext profiles.
+        sobs_->link_message(
+            static_cast<std::size_t>(
+                slot_offset_[static_cast<std::size_t>(v)]) +
+                static_cast<std::size_t>(port),
+            msg.bits);
+        obs_round_bits_[static_cast<std::size_t>(round)] += msg.bits;
+      })
       Event ev;
       ev.dst = u;
       ev.dst_port = uport;
@@ -441,6 +478,11 @@ class AlphaSynchronizerRun {
                 h, fault_detail::kSaltDrop, 0, 0)) < plan.drop_prob) {
           ev.dropped = true;
           ++stats_.dropped_messages;
+          DMATCH_OBS(if (sobs_ != nullptr) {
+            sobs_->trace_at(clock_base_ + static_cast<std::uint64_t>(round),
+                            obs::EventType::kFaultDrop,
+                            static_cast<std::uint32_t>(u), in_slot);
+          })
         } else {
           const int max_d = std::max(1, plan.max_delay);
           const bool dup =
@@ -458,6 +500,12 @@ class AlphaSynchronizerRun {
                                           0) %
                         static_cast<std::uint64_t>(max_d));
             ++stats_.duplicated_messages;
+            DMATCH_OBS(if (sobs_ != nullptr) {
+              sobs_->trace_at(clock_base_ + static_cast<std::uint64_t>(round),
+                              obs::EventType::kFaultDuplicate,
+                              static_cast<std::uint32_t>(u), in_slot,
+                              static_cast<std::uint64_t>(d));
+            })
             Event copy;
             copy.dst = u;
             copy.dst_port = uport;
@@ -476,6 +524,12 @@ class AlphaSynchronizerRun {
                                           0, 0) %
                         static_cast<std::uint64_t>(max_d));
             ++stats_.delayed_messages;
+            DMATCH_OBS(if (sobs_ != nullptr) {
+              sobs_->trace_at(clock_base_ + static_cast<std::uint64_t>(round),
+                              obs::EventType::kFaultDelay,
+                              static_cast<std::uint32_t>(u), in_slot,
+                              static_cast<std::uint64_t>(d));
+            })
             ev.file_round = round + 1 + d;
           }
         }
@@ -486,6 +540,53 @@ class AlphaSynchronizerRun {
     }
     if (node.pending_acks == 0) announce_safe(now, v);
   }
+
+#ifndef DMATCH_OBS_DISABLED
+  // Emitted once at the end of the run. The executor is single-threaded
+  // and event-driven, so per-round records are reconstructed on the
+  // virtual-round clock instead of streamed (virtual rounds interleave
+  // across nodes). Timestamps are clock_base_ + round — the mapping the
+  // engine uses — so sync and async runs share one trace timeline.
+  void finish_obs() {
+    obs::Observer& ob = *options_.observer;
+    const auto& ids = sobs_->ids();
+    const std::size_t rounds = stats_.round_payloads.size();
+    for (std::size_t r = 0; r < rounds; ++r) {
+      const std::uint64_t t = clock_base_ + r;
+      sobs_->trace_at(t, obs::EventType::kRoundEnd, 0,
+                      stats_.round_payloads[r], obs_round_bits_[r]);
+      sobs_->observe(ids.engine_round_messages_hist, stats_.round_payloads[r]);
+      sobs_->bits_hist_totals(stats_.round_payloads[r], obs_round_bits_[r]);
+      ob.profiler().round_end(stats_.round_payloads[r], obs_round_bits_[r]);
+    }
+    if (fault_) {
+      const std::uint64_t end_round = stats_.virtual_rounds + 1;
+      for (NodeId v = 0; v < g_.node_count(); ++v) {
+        const auto vi = static_cast<std::size_t>(v);
+        if (sched_.crash_at[vi] < end_round) {
+          sobs_->trace_at(clock_base_ + sched_.crash_at[vi],
+                          obs::EventType::kCrash, static_cast<std::uint32_t>(v));
+        }
+        if (sched_.restart_at[vi] <= end_round) {
+          sobs_->trace_at(clock_base_ + sched_.restart_at[vi],
+                          obs::EventType::kRestart,
+                          static_cast<std::uint32_t>(v));
+        }
+      }
+      sobs_->count(ids.fault_dropped, stats_.dropped_messages);
+      sobs_->count(ids.fault_duplicated, stats_.duplicated_messages);
+      sobs_->count(ids.fault_delayed, stats_.delayed_messages);
+      sobs_->count(ids.fault_reordered, stats_.reordered_inboxes);
+      sobs_->count(ids.fault_crashed, stats_.crashed_nodes);
+      sobs_->count(ids.fault_restarted, stats_.restarted_nodes);
+    }
+    sobs_->count(ids.async_events, stats_.events);
+    sobs_->count(ids.async_payload_messages, stats_.payload_messages);
+    sobs_->count(ids.async_control_messages, stats_.control_messages);
+    sobs_->count(ids.async_virtual_rounds, stats_.virtual_rounds);
+    ob.advance_clock(rounds);
+  }
+#endif
 
   const Graph& g_;
   const ProcessFactory& factory_;
@@ -504,6 +605,12 @@ class AlphaSynchronizerRun {
   std::uint64_t seq_ = 0;
   std::uint64_t data_in_flight_ = 0;
   AsyncStats stats_;
+
+#ifndef DMATCH_OBS_DISABLED
+  obs::ShardObs* sobs_ = nullptr;
+  std::uint64_t clock_base_ = 0;
+  std::vector<std::uint64_t> obs_round_bits_;  // parallels round_payloads
+#endif
 };
 
 }  // namespace

@@ -54,6 +54,11 @@ struct AsyncOptions {
   double max_delay = 3.0;
   /// Fault plan with the round engine's semantics. Inactive by default.
   FaultPlan fault;
+  /// Observability sink (not owned; must outlive the run). Virtual
+  /// rounds advance the Observer's clock just like engine rounds, so an
+  /// async run slots into the same trace timeline; nullptr or
+  /// -DDMATCH_OBS_DISABLED keeps the executor unobserved.
+  obs::Observer* observer = nullptr;
 };
 
 struct AsyncStats {
@@ -63,6 +68,12 @@ struct AsyncStats {
   std::uint64_t virtual_rounds = 0;    // max simulated round executed
   double completion_time = 0;          // async time of the last delivery
   bool completed = true;
+  /// Payload messages sent by nodes executing simulated round r
+  /// (degenerate crashed rounds contribute zero, like the engine's
+  /// unstepped dead nodes). The async counterpart of
+  /// RunStats.round_messages: sum(round_payloads) == payload_messages,
+  /// cross-checked by core/verify's verify_round_accounting.
+  std::vector<std::uint64_t> round_payloads;
 
   // Fault counters, mirroring RunStats so sync/async histories can be
   // compared directly. All zero without an active plan.

@@ -82,6 +82,9 @@ class NodeContext final : public Context {
     ++stats_.messages;
     stats_.total_bits += msg.bits;
     stats_.max_message_bits = std::max(stats_.max_message_bits, msg.bits);
+    DMATCH_OBS(if (obs_ != nullptr) {
+      obs_->link_message(obs_base_ + static_cast<std::size_t>(port), msg.bits);
+    })
     outbox_.push_back({port, std::move(msg)});
   }
 
@@ -92,7 +95,19 @@ class NodeContext final : public Context {
   }
   void clear_mate() override { mate_port_ = -1; }
 
+#ifndef DMATCH_OBS_DISABLED
+  [[nodiscard]] obs::ShardObs* obs() noexcept override { return obs_; }
+  void attach_obs(obs::ShardObs* o, std::size_t base_slot) noexcept {
+    obs_ = o;
+    obs_base_ = base_slot;
+  }
+#endif
+
  private:
+#ifndef DMATCH_OBS_DISABLED
+  obs::ShardObs* obs_ = nullptr;
+  std::size_t obs_base_ = 0;  // this node's first sender-side slot
+#endif
   const Graph& g_;
   NodeId id_;
   NodeId n_bound_;
@@ -280,6 +295,26 @@ RunStats Network::run(const ProcessFactory& factory, int max_rounds) {
   std::atomic<bool> failed{false};
   std::uint64_t routed_before = 0;
 
+#ifndef DMATCH_OBS_DISABLED
+  // Observability attach: per-shard single-writer handles, a `profiled`
+  // flag saying whether this run's graph feeds the link profiler, and
+  // (under faults only) per-round snapshots so an aborted partial round
+  // never leaks shard-layout-dependent events or counts.
+  obs::Observer* const observer = options_.observer;
+  const bool profiled =
+      observer != nullptr && observer->begin_run(num_shards, g);
+  std::vector<obs::ShardObs*> sobs(num_shards, nullptr);
+  const std::uint64_t run_start_clock =
+      observer != nullptr ? observer->clock() : 0;
+  if (observer != nullptr) {
+    for (unsigned s = 0; s < num_shards; ++s) sobs[s] = observer->shard(s);
+  }
+  std::uint64_t obs_bits_before = 0;
+  std::vector<std::vector<std::uint64_t>> obs_slab_snap;
+  std::vector<std::size_t> obs_trace_marks(num_shards, 0);
+  obs::CongestionProfiler::LinkSnapshot obs_link_snap;
+#endif
+
   const auto for_each_shard = [&](auto&& fn) {
     if (num_shards == 1) {
       fn(0u);
@@ -378,6 +413,10 @@ RunStats Network::run(const ProcessFactory& factory, int max_rounds) {
                 std::swap(shard.inbox[i], shard.inbox[j]);
               }
               ++shard.stats.reordered_inboxes;
+              DMATCH_OBS(if (sobs[s] != nullptr) {
+                sobs[s]->trace(obs::EventType::kFaultReorder,
+                               static_cast<std::uint32_t>(v));
+              })
             }
           }
 
@@ -385,6 +424,7 @@ RunStats Network::run(const ProcessFactory& factory, int max_rounds) {
           NodeContext ctx(g, v, g.node_count(), round, node_rng_[vi],
                           mate_port_[vi], model_, cap_bits_, shard.outbox,
                           shard.stats);
+          DMATCH_OBS(ctx.attach_obs(sobs[s], base);)
           procs[vi]->on_round(ctx, shard.inbox);
 
           for (Envelope& env : shard.outbox) {
@@ -399,6 +439,10 @@ RunStats Network::run(const ProcessFactory& factory, int max_rounds) {
                   fault_detail::to_unit(fault_detail::mix(h, kSaltDrop, 0, 0)) <
                       plan.drop_prob) {
                 ++shard.stats.dropped_messages;
+                DMATCH_OBS(if (sobs[s] != nullptr) {
+                  sobs[s]->trace(obs::EventType::kFaultDrop,
+                                 static_cast<std::uint32_t>(u), in_slot);
+                })
                 continue;
               }
               const bool dup =
@@ -418,6 +462,11 @@ RunStats Network::run(const ProcessFactory& factory, int max_rounds) {
                               fault_detail::mix(h, kSaltDupAmount, 0, 0) %
                               static_cast<std::uint64_t>(max_d));
                   ++shard.stats.duplicated_messages;
+                  DMATCH_OBS(if (sobs[s] != nullptr) {
+                    sobs[s]->trace(obs::EventType::kFaultDuplicate,
+                                   static_cast<std::uint32_t>(u), in_slot,
+                                   static_cast<std::uint64_t>(d));
+                  })
                   fault_lane(s, shard_of(u))
                       .push_back({u, rport, round + 1 + d, round, env.msg});
                 }
@@ -428,6 +477,11 @@ RunStats Network::run(const ProcessFactory& factory, int max_rounds) {
                               fault_detail::mix(h, kSaltDelayAmount, 0, 0) %
                               static_cast<std::uint64_t>(max_d));
                   ++shard.stats.delayed_messages;
+                  DMATCH_OBS(if (sobs[s] != nullptr) {
+                    sobs[s]->trace(obs::EventType::kFaultDelay,
+                                   static_cast<std::uint32_t>(u), in_slot,
+                                   static_cast<std::uint64_t>(d));
+                  })
                   fault_lane(s, shard_of(u))
                       .push_back(
                           {u, rport, round + 1 + d, round, std::move(env.msg)});
@@ -544,10 +598,40 @@ RunStats Network::run(const ProcessFactory& factory, int max_rounds) {
     quiesced = all_idle();
     if (quiesced) break;
 
+#ifndef DMATCH_OBS_DISABLED
+    if (observer != nullptr) {
+      const std::uint64_t now = observer->clock();
+      std::uint64_t scheduled = 0;
+      for (unsigned s = 0; s < num_shards; ++s) {
+        sobs[s]->now = now;
+        scheduled += shards[s].active.size();
+      }
+      if (faults) {
+        // Snapshot before emitting anything, so an aborted round rolls
+        // back to a state with no trace of the round at all.
+        obs_slab_snap = observer->metrics().snapshot();
+        for (unsigned s = 0; s < num_shards; ++s) {
+          obs_trace_marks[s] = observer->trace_sink().buffer(s).size();
+        }
+        if (profiled) obs_link_snap = observer->profiler().snapshot_links();
+      }
+      sobs[0]->trace(obs::EventType::kRoundStart, 0, scheduled);
+    }
+#endif
+
     if (faults) reg_snapshot = mate_port_;
     for_each_shard(step_shard(executed));
     if (failed.load(std::memory_order_relaxed)) {
       if (faults) mate_port_ = reg_snapshot;
+#ifndef DMATCH_OBS_DISABLED
+      if (observer != nullptr && faults) {
+        observer->metrics().restore(obs_slab_snap);
+        for (unsigned s = 0; s < num_shards; ++s) {
+          observer->trace_sink().buffer(s).resize(obs_trace_marks[s]);
+        }
+        if (profiled) observer->profiler().restore_links(obs_link_snap);
+      }
+#endif
       invalidate_state();
       lifetime_rounds_ = base_round + static_cast<std::uint64_t>(executed);
       for (const ShardState& shard : shards) {
@@ -558,9 +642,24 @@ RunStats Network::run(const ProcessFactory& factory, int max_rounds) {
 
     std::uint64_t routed = 0;
     for (const ShardState& shard : shards) routed += shard.stats.messages;
-    stats.round_messages.push_back(routed - routed_before);
+    const std::uint64_t sent = routed - routed_before;
+    stats.round_messages.push_back(sent);
     routed_before = routed;
     ++stats.rounds;
+
+#ifndef DMATCH_OBS_DISABLED
+    if (observer != nullptr) {
+      std::uint64_t bits = 0;
+      for (const ShardState& shard : shards) bits += shard.stats.total_bits;
+      sobs[0]->trace(obs::EventType::kRoundEnd, 0, sent,
+                     bits - obs_bits_before);
+      sobs[0]->observe(sobs[0]->ids().engine_round_messages_hist, sent);
+      sobs[0]->bits_hist_totals(sent, bits - obs_bits_before);
+      observer->profiler().round_end(sent, bits - obs_bits_before);
+      obs_bits_before = bits;
+      observer->advance_clock();
+    }
+#endif
 
     std::swap(cur_msg_, nxt_msg_);
     std::swap(cur_stamp_, nxt_stamp_);
@@ -593,6 +692,52 @@ RunStats Network::run(const ProcessFactory& factory, int max_rounds) {
     }
   }
   for (const ShardState& shard : shards) stats.merge(shard.stats);
+
+#ifndef DMATCH_OBS_DISABLED
+  if (observer != nullptr) {
+    obs::ShardObs* const o = sobs[0];
+    if (faults) {
+      // Reconstruct crash/restart instants on this run's clock window —
+      // the same windows the RunStats counters use.
+      const std::uint64_t end_round =
+          base_round + static_cast<std::uint64_t>(executed);
+      for (NodeId v = 0; v < g.node_count(); ++v) {
+        const auto vi = static_cast<std::size_t>(v);
+        if (crash_at_[vi] >= base_round && crash_at_[vi] < end_round) {
+          o->trace_at(run_start_clock + (crash_at_[vi] - base_round),
+                      obs::EventType::kCrash, static_cast<std::uint32_t>(v));
+        }
+        if (restart_at_[vi] > base_round && restart_at_[vi] <= end_round) {
+          o->trace_at(run_start_clock + (restart_at_[vi] - base_round),
+                      obs::EventType::kRestart, static_cast<std::uint32_t>(v));
+        }
+      }
+    }
+    // Import the run's totals into the registry off the hot path.
+    const obs::StdMetricIds& mid = o->ids();
+    o->count(mid.engine_runs, 1);
+    o->count(mid.engine_rounds, stats.rounds);
+    o->count(mid.engine_messages, stats.messages);
+    o->count(mid.engine_bits, stats.total_bits);
+    o->gauge_max(mid.engine_max_message_bits, stats.max_message_bits);
+    o->count(mid.fault_dropped, stats.dropped_messages);
+    o->count(mid.fault_duplicated, stats.duplicated_messages);
+    o->count(mid.fault_delayed, stats.delayed_messages);
+    o->count(mid.fault_reordered, stats.reordered_inboxes);
+    o->count(mid.fault_crashed, stats.crashed_nodes);
+    o->count(mid.fault_restarted, stats.restarted_nodes);
+    // Engine-side half of the round-accounting cross-check (the full
+    // check lives in core/verify): the profiler's curve tail must
+    // replicate RunStats.round_messages exactly.
+    const auto& curve = observer->profiler().round_messages();
+    DMATCH_ASSERT(curve.size() >= stats.round_messages.size());
+    const std::size_t tail = curve.size() - stats.round_messages.size();
+    for (std::size_t i = 0; i < stats.round_messages.size(); ++i) {
+      DMATCH_ASSERT(curve[tail + i] == stats.round_messages[i]);
+    }
+  }
+#endif
+
   invalidate_state();
   lifetime_rounds_ = base_round + static_cast<std::uint64_t>(executed);
   total_.merge(stats);

@@ -27,6 +27,7 @@
 #include "congest/process.hpp"
 #include "graph/graph.hpp"
 #include "graph/matching.hpp"
+#include "obs/obs.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
 
@@ -103,6 +104,13 @@ class Network {
     /// plan injects faults deterministically (see congest/fault.hpp) and
     /// is still bit-identical across num_threads values.
     FaultPlan fault;
+    /// Observability sink (not owned; must outlive the Network). nullptr
+    /// keeps every hook to a single predictable branch on the round loop
+    /// and nothing on the per-message path; -DDMATCH_OBS_DISABLED
+    /// compiles the hooks out entirely. Attaching an Observer never
+    /// changes results: traces and metrics are derived from the same
+    /// deterministic run.
+    obs::Observer* observer = nullptr;
   };
 
   /// `congest_factor`: per-message cap in units of ceil(log2 n) bits
@@ -144,6 +152,13 @@ class Network {
 
   /// Overwrite the output registers from an explicit matching.
   void set_matching(const Matching& m);
+
+  /// Attached Observer, or nullptr (always nullptr when observability
+  /// is compiled out). Drivers use this to emit phase/checkpoint events.
+  [[nodiscard]] obs::Observer* observer() const noexcept {
+    DMATCH_OBS(return options_.observer;)
+    return nullptr;
+  }
 
   [[nodiscard]] const FaultPlan& fault_plan() const noexcept {
     return options_.fault;

@@ -13,6 +13,10 @@
 #include "graph/graph.hpp"
 #include "support/rng.hpp"
 
+namespace dmatch::obs {
+class ShardObs;
+}  // namespace dmatch::obs
+
 namespace dmatch::congest {
 
 /// Per-node view of the network, provided by the simulator. Exposes only
@@ -47,6 +51,12 @@ class Context {
   [[nodiscard]] virtual int mate_port() const = 0;
   virtual void set_mate_port(int port) = 0;
   virtual void clear_mate() = 0;
+
+  /// Observability handle of the shard executing this node, or nullptr
+  /// when no Observer is attached. Not part of the CONGEST model —
+  /// wrappers (e.g. the resilient transport) use it to emit trace events
+  /// without widening the protocol interface.
+  [[nodiscard]] virtual obs::ShardObs* obs() noexcept { return nullptr; }
 };
 
 class Process {

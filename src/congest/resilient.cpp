@@ -12,7 +12,7 @@ namespace {
 
 constexpr unsigned kVrBits = 20;
 constexpr unsigned kAckBits = 20;
-constexpr unsigned kSackBits = 8;
+constexpr unsigned kSackBits = 16;
 constexpr std::uint32_t kVrMax = (std::uint32_t{1} << kVrBits) - 1;
 
 void append_payload(BitWriter& w, const Message& msg) {
@@ -63,6 +63,7 @@ class ResilientContext final : public Context {
   [[nodiscard]] int mate_port() const override { return real_.mate_port(); }
   void set_mate_port(int port) override { real_.set_mate_port(port); }
   void clear_mate() override { real_.clear_mate(); }
+  [[nodiscard]] obs::ShardObs* obs() noexcept override { return real_.obs(); }
 
  private:
   Context& real_;
@@ -275,6 +276,7 @@ void ResilientProcess::advance_inner(Context& ctx) {
 }
 
 void ResilientProcess::transmit(Context& ctx) {
+  DMATCH_OBS(obs::ShardObs* const o = ctx.obs();)
   const auto deg = ports_.size();
   for (std::size_t port = 0; port < deg; ++port) {
     PortState& p = ports_[port];
@@ -295,7 +297,14 @@ void ResilientProcess::transmit(Context& ctx) {
     if (p.fast_pending) {
       p.fast_pending = false;
       p.dup_acks = 0;
-      if (!p.outq.empty() && p.outq.front().txed) send = &p.outq.front();
+      if (!p.outq.empty() && p.outq.front().txed) {
+        send = &p.outq.front();
+        DMATCH_OBS(if (o != nullptr) {
+          o->trace(obs::EventType::kArqFastRetransmit,
+                   static_cast<std::uint32_t>(ctx.id()), port, send->vr);
+          o->count(o->ids().arq_fast_retransmits);
+        })
+      }
     }
     if (send == nullptr) {
       for (OutFrame& f : p.outq) {
@@ -304,10 +313,20 @@ void ResilientProcess::transmit(Context& ctx) {
         if (f.retries >= opts_.max_retries) {
           // Peer unresponsive: give the link up for dead.
           p.dead = true;
+          DMATCH_OBS(if (o != nullptr) {
+            o->trace(obs::EventType::kArqLinkDead,
+                     static_cast<std::uint32_t>(ctx.id()), port, 0);
+            o->count(o->ids().arq_dead_links);
+          })
           break;
         }
         send = &f;
         timeout_retx = true;
+        DMATCH_OBS(if (o != nullptr) {
+          o->trace(obs::EventType::kArqTimeoutRetransmit,
+                   static_cast<std::uint32_t>(ctx.id()), port, f.vr);
+          o->count(o->ids().arq_timeout_retransmits);
+        })
         break;
       }
       if (p.dead) {
@@ -438,10 +457,18 @@ void ResilientProcess::on_round(Context& ctx,
   // Silence accounting: a port that blocks the next virtual round
   // without ever delivering a frame is eventually written off.
   if (!inner_halted_ && vround_ > 0) {
-    for (PortState& p : ports_) {
+    for (std::size_t port = 0; port < ports_.size(); ++port) {
+      PortState& p = ports_[port];
       if (p.dead || !p.inq.empty()) continue;
       if (p.peer_halted && vround_ - 1 > p.peer_halt_vr) continue;
-      if (++p.silence > opts_.silence_limit) p.dead = true;
+      if (++p.silence > opts_.silence_limit) {
+        p.dead = true;
+        DMATCH_OBS(if (obs::ShardObs* const o = ctx.obs(); o != nullptr) {
+          o->trace(obs::EventType::kArqLinkDead,
+                   static_cast<std::uint32_t>(ctx.id()), port, 1);
+          o->count(o->ids().arq_dead_links);
+        })
+      }
     }
   }
   if (inner_halted_) {

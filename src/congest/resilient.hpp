@@ -10,10 +10,10 @@
 // and per port the wrapper sends at most one *frame* combining the
 // current cumulative + selective ack with at most one data payload:
 //
-//   ack_flag(1) [cum_ack(20) sack_bitmap(8)]
+//   ack_flag(1) [cum_ack(20) sack_bitmap(16)]
 //   data_flag(1) [vround(20) halt(1) has_payload(1) payload...]
 //
-// i.e. at most 52 header bits on top of the wrapped payload — within the
+// i.e. at most 60 header bits on top of the wrapped payload — within the
 // CONGEST cap for every protocol in this repository (see PROTOCOLS.md).
 // Up to `window` frames ride the link unacknowledged (window = 1
 // degenerates to the PR 2 stop-and-wait), so in the fault-free steady
@@ -52,7 +52,9 @@ namespace dmatch::congest {
 
 struct ResilientOptions {
   /// Frames that may ride a link unacknowledged. 1 = stop-and-wait
-  /// (the PR 2 protocol); capped at the 8-bit sack bitmap width.
+  /// (the PR 2 protocol); capped at the 16-bit sack bitmap width.
+  /// Exposed on the CLI as --arq-window; see EXPERIMENTS.md E20 for the
+  /// measured window-8 vs window-16 loss-recovery trade-off.
   int window = 8;
   /// Floor / ceiling of the adaptive retransmission timeout, in real
   /// rounds. The estimator is Jacobson-style (srtt + 2·rttvar), seeded

@@ -30,10 +30,11 @@ namespace dmatch {
 /// (the driver then degrades gracefully, see IsraeliItaiResult).
 inline IsraeliItaiResult maximal_matching(
     const Graph& g, std::uint64_t seed, std::uint32_t congest_factor = 48,
-    const congest::Network::Options& net_options = {}) {
+    const congest::Network::Options& net_options = {},
+    const IsraeliItaiOptions& options = {}) {
   congest::Network net(g, congest::Model::kCongest, seed, congest_factor,
                        net_options);
-  return israeli_itai(net);
+  return israeli_itai(net, options);
 }
 
 /// Theorem 3.10 on a fresh network over g. The graph must be bipartite;

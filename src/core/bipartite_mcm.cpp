@@ -299,11 +299,12 @@ namespace {
 /// next iteration on.
 congest::RunStats run_resilient_iteration(
     congest::Network& net, const std::vector<std::uint8_t>& side, int ell,
+    const congest::ResilientOptions& arq,
     congest::DegradationReport& degradation) {
   congest::RunStats stats;
   try {
     stats = net.run(
-        congest::resilient_factory(augment_iteration_factory(side, ell)),
+        congest::resilient_factory(augment_iteration_factory(side, ell), arq),
         congest::resilient_round_budget(3 * ell + 4));
     degradation.budget_exhausted |= !stats.completed;
   } catch (const ContractViolation&) {
@@ -337,8 +338,8 @@ PhaseResult run_phase_degraded(congest::Network& net,
           bipartite_shortest_augmenting_path_length(g, side, m);
       if (!shortest.has_value() || *shortest > ell) break;
     }
-    result.stats.merge(
-        run_resilient_iteration(net, side, ell, result.degradation));
+    result.stats.merge(run_resilient_iteration(net, side, ell, options.arq,
+                                               result.degradation));
     ++result.iterations;
     if (net.extract_matching().size() > m.size()) {
       stale = 0;
@@ -349,11 +350,9 @@ PhaseResult run_phase_degraded(congest::Network& net,
   return result;
 }
 
-}  // namespace
-
-PhaseResult run_phase(congest::Network& net,
-                      const std::vector<std::uint8_t>& side, int ell,
-                      const PhaseOptions& options) {
+PhaseResult run_phase_impl(congest::Network& net,
+                           const std::vector<std::uint8_t>& side, int ell,
+                           const PhaseOptions& options) {
   if (net.fault_active()) return run_phase_degraded(net, side, ell, options);
 
   PhaseResult result;
@@ -388,6 +387,22 @@ PhaseResult run_phase(congest::Network& net,
     ++result.iterations;
   }
   DMATCH_ASSERT(false);  // unreachable: every iteration makes progress
+  return result;
+}
+
+}  // namespace
+
+PhaseResult run_phase(congest::Network& net,
+                      const std::vector<std::uint8_t>& side, int ell,
+                      const PhaseOptions& options) {
+  DMATCH_OBS(obs::Observer* const ob = net.observer();
+             if (ob != nullptr) {
+               ob->phase_begin("aug.phase", static_cast<std::uint64_t>(ell));
+             })
+  PhaseResult result = run_phase_impl(net, side, ell, options);
+  DMATCH_OBS(if (ob != nullptr) {
+    ob->phase_end("aug.phase", static_cast<std::uint64_t>(ell));
+  })
   return result;
 }
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "congest/network.hpp"
+#include "congest/resilient.hpp"
 #include "graph/matching.hpp"
 
 namespace dmatch {
@@ -33,6 +34,9 @@ struct PhaseOptions {
   enum class Termination { kAdaptiveOracle, kFixedBudget };
   Termination termination = Termination::kAdaptiveOracle;
   double mis_budget_factor = 3.0;
+  /// ARQ tuning for iterations run under the resilient link layer (only
+  /// used when the host network carries an active FaultPlan).
+  congest::ResilientOptions arq;
 };
 
 struct BipartiteMcmOptions {

@@ -127,6 +127,7 @@ DeltaMwmResult class_greedy_mwm(const Graph& g,
   congest::Network::Options net_options;
   net_options.num_threads = options.num_threads;
   net_options.fault = options.fault;
+  net_options.observer = options.observer;
   congest::Network net(g, congest::Model::kCongest, options.seed,
                        options.congest_factor, net_options);
 
@@ -146,6 +147,7 @@ DeltaMwmResult class_greedy_mwm(const Graph& g,
   for (int cls = 0; cls < num_classes; ++cls) {
     IsraeliItaiOptions ii;
     ii.max_rounds = options.max_rounds;
+    ii.arq = options.arq;
     ii.eligible_edges.assign(static_cast<std::size_t>(g.edge_count()), false);
     for (EdgeId e = 0; e < g.edge_count(); ++e) {
       ii.eligible_edges[static_cast<std::size_t>(e)] =
@@ -174,6 +176,7 @@ DeltaMwmResult locally_dominant_mwm(const Graph& g,
   congest::Network::Options net_options;
   net_options.num_threads = options.num_threads;
   net_options.fault = options.fault;
+  net_options.observer = options.observer;
   congest::Network net(g, congest::Model::kCongest, options.seed,
                        options.congest_factor, net_options);
   const congest::ProcessFactory factory = [](NodeId v, const Graph& graph) {
@@ -186,7 +189,7 @@ DeltaMwmResult locally_dominant_mwm(const Graph& g,
   }
   result.stats = run_stage_checkpointed(
       net, factory, std::min(options.max_rounds, 4096),
-      /*max_attempts=*/3, result.degradation);
+      /*max_attempts=*/3, result.degradation, options.arq);
   result.matching = net.extract_matching();
   return result;
 }

@@ -21,6 +21,7 @@
 #include <cstdint>
 
 #include "congest/network.hpp"
+#include "congest/resilient.hpp"
 #include "graph/graph.hpp"
 #include "graph/matching.hpp"
 
@@ -40,6 +41,10 @@ struct DeltaMwmOptions {
   congest::FaultPlan fault;
   /// Round-engine worker count for the box network (0 = hardware).
   unsigned num_threads = 0;
+  /// ARQ tuning for the resilient link layer (fault mode only).
+  congest::ResilientOptions arq;
+  /// Observability sink for the box's private network (not owned).
+  obs::Observer* observer = nullptr;
 };
 
 struct DeltaMwmResult {

@@ -114,7 +114,9 @@ GeneralMcmResult general_mcm(const Graph& g, const GeneralMcmOptions& options) {
   const bool faulty = options.fault.any();
   congest::Network main_net(g, congest::Model::kCongest, options.seed,
                             options.congest_factor,
-                            {options.num_threads, options.fault});
+                            {options.num_threads, options.fault,
+                             options.observer});
+  DMATCH_OBS(obs::Observer* const ob = main_net.observer();)
   Rng driver_rng(options.seed ^ 0xa5a5a5a5a5a5a5a5ULL);
 
   int budget = options.max_iterations > 0 ? options.max_iterations
@@ -133,11 +135,14 @@ GeneralMcmResult general_mcm(const Graph& g, const GeneralMcmOptions& options) {
         -> std::unique_ptr<congest::Process> {
       return std::make_unique<ColorSampleProcess>(v, graph, color, edge_in);
     };
+    DMATCH_OBS(if (ob != nullptr) {
+      ob->phase_begin("mcm.sample", static_cast<std::uint64_t>(iter));
+    })
     if (faulty) {
       try {
-        const congest::RunStats stats =
-            main_net.run(congest::resilient_factory(std::move(sample_factory)),
-                         congest::resilient_round_budget(8));
+        const congest::RunStats stats = main_net.run(
+            congest::resilient_factory(std::move(sample_factory), options.arq),
+            congest::resilient_round_budget(8));
         result.degradation.budget_exhausted |= !stats.completed;
         result.stats.merge(stats);
       } catch (const ContractViolation&) {
@@ -153,6 +158,9 @@ GeneralMcmResult general_mcm(const Graph& g, const GeneralMcmOptions& options) {
     } else {
       result.stats.merge(main_net.run(std::move(sample_factory), 8));
     }
+    DMATCH_OBS(if (ob != nullptr) {
+      ob->phase_end("mcm.sample", static_cast<std::uint64_t>(iter));
+    })
 
     // Recover E^ membership from the collected colors and the current
     // matching (identical to what each node computed locally).
@@ -189,9 +197,13 @@ GeneralMcmResult general_mcm(const Graph& g, const GeneralMcmOptions& options) {
     std::ptrdiff_t gained = 0;
     if (any) {
       // Stage 2: Aug(G^, M, 2k-1) -- the bipartite phase loop on G^.
+      DMATCH_OBS(if (ob != nullptr) {
+        ob->phase_begin("mcm.augment", static_cast<std::uint64_t>(iter));
+      })
       Graph::Subgraph sub = g.edge_subgraph(keep);
       congest::Network::Options hat_opts;
       hat_opts.num_threads = options.num_threads;
+      hat_opts.observer = options.observer;
       if (faulty) {
         // The Aug networks keep suffering message faults (fresh derived
         // seed per iteration) and inherit the main network's casualties as
@@ -225,6 +237,7 @@ GeneralMcmResult general_mcm(const Graph& g, const GeneralMcmOptions& options) {
       BipartiteMcmOptions aug_options;
       aug_options.k = options.k;
       aug_options.phase = options.phase;
+      aug_options.phase.arq = options.arq;
       BipartiteMcmResult aug = bipartite_mcm(hat_net, side, aug_options);
       result.stats.merge(aug.stats);
       result.degradation.merge(aug.degradation);
@@ -248,6 +261,9 @@ GeneralMcmResult general_mcm(const Graph& g, const GeneralMcmOptions& options) {
       gained = static_cast<std::ptrdiff_t>(result.matching.size()) -
                static_cast<std::ptrdiff_t>(before);
       main_net.set_matching(result.matching);
+      DMATCH_OBS(if (ob != nullptr) {
+        ob->phase_end("mcm.augment", static_cast<std::uint64_t>(iter));
+      })
     }
 
     if (gained > 0) {

@@ -37,6 +37,12 @@ struct GeneralMcmOptions {
   /// message-fault probabilities (with a fresh derived seed per iteration)
   /// and the nodes already dead on the main network as scheduled crashes.
   congest::FaultPlan fault;
+  /// ARQ tuning for all resilient-layer runs (fault mode only); copied
+  /// into the Aug phases as well.
+  congest::ResilientOptions arq;
+  /// Observability sink for the main and Aug networks (not owned; must
+  /// outlive the call). nullptr = unobserved.
+  obs::Observer* observer = nullptr;
 };
 
 struct GeneralMcmResult {

@@ -124,7 +124,9 @@ HalfMwmResult half_mwm(const Graph& g, const HalfMwmOptions& options) {
   const bool faulty = options.fault.any();
   congest::Network main_net(g, congest::Model::kCongest, options.seed,
                             options.congest_factor,
-                            {options.num_threads, options.fault});
+                            {options.num_threads, options.fault,
+                             options.observer});
+  DMATCH_OBS(obs::Observer* const ob = main_net.observer();)
   Rng driver_rng(options.seed ^ 0x5ee5ee5ee5ee5eeULL);
 
   for (int iter = 0; iter < budget; ++iter) {
@@ -136,11 +138,13 @@ HalfMwmResult half_mwm(const Graph& g, const HalfMwmOptions& options) {
         [](NodeId, const Graph&) -> std::unique_ptr<congest::Process> {
       return std::make_unique<GainExchangeProcess>();
     };
+    DMATCH_OBS(if (ob != nullptr) {
+      ob->phase_begin("mwm.gain_exchange", static_cast<std::uint64_t>(iter));
+    })
     if (faulty) {
-      result.stats.merge(run_stage_checkpointed(main_net,
-                                                std::move(gain_factory),
-                                                4, /*max_attempts=*/3,
-                                                result.degradation));
+      result.stats.merge(run_stage_checkpointed(
+          main_net, std::move(gain_factory), 4, /*max_attempts=*/3,
+          result.degradation, options.arq));
       // Healing clears registers at (or pointing at) crashed nodes;
       // re-extracting doubles as the dead-edge sweep, so the freed
       // partners show up as positive-gain candidates below.
@@ -148,6 +152,9 @@ HalfMwmResult half_mwm(const Graph& g, const HalfMwmOptions& options) {
     } else {
       result.stats.merge(main_net.run(std::move(gain_factory), 4));
     }
+    DMATCH_OBS(if (ob != nullptr) {
+      ob->phase_end("mwm.gain_exchange", static_cast<std::uint64_t>(iter));
+    })
 
     // Stage 2: black-box delta-MWM on the positive-gain subgraph.
     const std::vector<Weight> gains = gain_weights(g, result.matching);
@@ -186,6 +193,8 @@ HalfMwmResult half_mwm(const Graph& g, const HalfMwmOptions& options) {
     box.seed = driver_rng();
     box.congest_factor = options.congest_factor;
     box.num_threads = options.num_threads;
+    box.arq = options.arq;
+    box.observer = options.observer;
     if (faulty) {
       // The black box inherits the driver's plan: the gain graph keeps
       // the caller's node-id space, so the box replays the same crash
@@ -193,12 +202,18 @@ HalfMwmResult half_mwm(const Graph& g, const HalfMwmOptions& options) {
       // model, with checkpoint/restart recovery inside.
       box.fault = options.fault;
     }
+    DMATCH_OBS(if (ob != nullptr) {
+      ob->phase_begin("mwm.black_box", static_cast<std::uint64_t>(iter));
+    })
     DeltaMwmResult boxed =
         options.black_box == HalfMwmOptions::BlackBox::kClassGreedy
             ? class_greedy_mwm(gain_graph, box)
             : locally_dominant_mwm(gain_graph, box);
     result.stats.merge(boxed.stats);
     result.degradation.merge(boxed.degradation);
+    DMATCH_OBS(if (ob != nullptr) {
+      ob->phase_end("mwm.black_box", static_cast<std::uint64_t>(iter));
+    })
 
     std::vector<EdgeId> m_prime;
     for (EdgeId se : boxed.matching.edges(gain_graph)) {
@@ -223,16 +238,18 @@ HalfMwmResult half_mwm(const Graph& g, const HalfMwmOptions& options) {
       return std::make_unique<ApplyWrapsProcess>(
           new_mate_port[static_cast<std::size_t>(v)]);
     };
+    DMATCH_OBS(if (ob != nullptr) {
+      ob->phase_begin("mwm.apply_wraps", static_cast<std::uint64_t>(iter));
+    })
     if (faulty) {
       // A dropped DROP notification leaves the old mate pointing at a
       // repointed node: exactly the torn-register shape heal_registers
       // clears, so the extraction below is always a valid matching. The
       // Lemma 4.1 equality/weight-gain checks only bind for the wraps
       // that survived, so they are skipped.
-      result.stats.merge(run_stage_checkpointed(main_net,
-                                                std::move(wrap_factory),
-                                                4, /*max_attempts=*/3,
-                                                result.degradation));
+      result.stats.merge(run_stage_checkpointed(
+          main_net, std::move(wrap_factory), 4, /*max_attempts=*/3,
+          result.degradation, options.arq));
       result.matching = main_net.extract_matching();
     } else {
       result.stats.merge(main_net.run(std::move(wrap_factory), 4));
@@ -250,6 +267,9 @@ HalfMwmResult half_mwm(const Graph& g, const HalfMwmOptions& options) {
                     result.matching.weight(g) + gain_mprime - 1e-6);
       result.matching = updated;
     }
+    DMATCH_OBS(if (ob != nullptr) {
+      ob->phase_end("mwm.apply_wraps", static_cast<std::uint64_t>(iter));
+    })
   }
 
   if (faulty) {

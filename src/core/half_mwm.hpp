@@ -51,6 +51,12 @@ struct HalfMwmOptions {
   /// boundary instead of aborting, and every wrap the faults tear is
   /// healed before the next iteration.
   congest::FaultPlan fault;
+  /// ARQ tuning for every resilient-layer run (fault mode only),
+  /// propagated into the black box. Exposed on the CLI as --arq-window.
+  congest::ResilientOptions arq;
+  /// Observability sink for the main and black-box networks (not owned;
+  /// must outlive the call). nullptr = unobserved.
+  obs::Observer* observer = nullptr;
 };
 
 struct HalfMwmResult {

@@ -138,10 +138,13 @@ congest::ProcessFactory israeli_itai_factory(IsraeliItaiOptions options) {
 IsraeliItaiResult israeli_itai(congest::Network& net,
                                const IsraeliItaiOptions& options) {
   IsraeliItaiResult result;
+  DMATCH_OBS(obs::Observer* const ob = net.observer();
+             if (ob != nullptr) ob->phase_begin("mm.israeli_itai");)
   if (!net.fault_active()) {
     result.stats =
         net.run(israeli_itai_factory(options), options.max_rounds);
     result.matching = net.extract_matching();
+    DMATCH_OBS(if (ob != nullptr) ob->phase_end("mm.israeli_itai");)
     return result;
   }
 
@@ -155,8 +158,9 @@ IsraeliItaiResult israeli_itai(congest::Network& net,
   // is valid over the surviving nodes.
   result.stats = run_stage_checkpointed(
       net, israeli_itai_factory(options), std::min(options.max_rounds, 4096),
-      /*max_attempts=*/3, result.degradation);
+      /*max_attempts=*/3, result.degradation, options.arq);
   result.matching = net.extract_matching();
+  DMATCH_OBS(if (ob != nullptr) ob->phase_end("mm.israeli_itai");)
   return result;
 }
 

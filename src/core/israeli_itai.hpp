@@ -14,6 +14,7 @@
 #include <optional>
 
 #include "congest/network.hpp"
+#include "congest/resilient.hpp"
 #include "graph/graph.hpp"
 #include "graph/matching.hpp"
 
@@ -25,6 +26,8 @@ struct IsraeliItaiOptions {
   /// Only edges with eligible[e] participate (used by the weight-class
   /// black box to restrict to one class). Empty = all edges.
   std::vector<char> eligible_edges;
+  /// ARQ tuning for the resilient link layer (fault mode only).
+  congest::ResilientOptions arq;
 };
 
 struct IsraeliItaiResult {

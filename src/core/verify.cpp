@@ -76,4 +76,44 @@ MatchingInvariantReport verify_matching_invariants(const Graph& g,
   return verify_matching_invariants(g, m, dead, compute_ratio);
 }
 
+namespace {
+
+std::uint64_t curve_sum(const std::vector<std::uint64_t>& curve) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : curve) total += c;
+  return total;
+}
+
+std::size_t trimmed_length(const std::vector<std::uint64_t>& curve) {
+  std::size_t len = curve.size();
+  while (len > 0 && curve[len - 1] == 0) --len;
+  return len;
+}
+
+}  // namespace
+
+bool verify_round_accounting(const congest::RunStats& stats) {
+  DMATCH_ASSERT(stats.round_messages.size() ==
+                static_cast<std::size_t>(stats.rounds));
+  DMATCH_ASSERT(curve_sum(stats.round_messages) == stats.messages);
+  return true;
+}
+
+bool verify_round_accounting(const congest::AsyncStats& stats) {
+  DMATCH_ASSERT(curve_sum(stats.round_payloads) == stats.payload_messages);
+  return true;
+}
+
+bool verify_round_histories_agree(const congest::RunStats& sync_stats,
+                                  const congest::AsyncStats& async_stats) {
+  const std::size_t sync_len = trimmed_length(sync_stats.round_messages);
+  const std::size_t async_len = trimmed_length(async_stats.round_payloads);
+  DMATCH_ASSERT(sync_len == async_len);
+  for (std::size_t r = 0; r < sync_len; ++r) {
+    DMATCH_ASSERT(sync_stats.round_messages[r] ==
+                  async_stats.round_payloads[r]);
+  }
+  return true;
+}
+
 }  // namespace dmatch

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "congest/async.hpp"
 #include "congest/network.hpp"
 #include "graph/graph.hpp"
 #include "graph/matching.hpp"
@@ -57,5 +58,30 @@ MatchingInvariantReport verify_matching_invariants(
 MatchingInvariantReport verify_matching_invariants(
     const Graph& g, const Matching& m, const std::vector<char>& dead,
     bool compute_ratio = false);
+
+// --- Round-accounting cross-checks (see docs/PROTOCOLS.md "Telemetry") --
+//
+// The engine keeps two independent per-round message records: the
+// RunStats histogram, summed on the driver thread at round end, and (when
+// an Observer profiles the run) the congestion profiler's per-round
+// curve, accumulated message by message. These functions assert the
+// internal consistency of each record and the agreement between the
+// synchronous and asynchronous executors' histories. Each returns true on
+// success and trips a DMATCH_ASSERT (throws ContractViolation) otherwise.
+
+/// sum(round_messages) == messages and size(round_messages) == rounds.
+bool verify_round_accounting(const congest::RunStats& stats);
+
+/// sum(round_payloads) == payload_messages.
+bool verify_round_accounting(const congest::AsyncStats& stats);
+
+/// The synchronous and asynchronous executions of one protocol under one
+/// fault plan sent the same number of payload messages in every simulated
+/// round. Trailing silent rounds are trimmed before comparing: the two
+/// executors may idle for a different number of receive-only rounds at
+/// the end (the engine drains in-flight messages globally, the
+/// synchronizer per node).
+bool verify_round_histories_agree(const congest::RunStats& sync_stats,
+                                  const congest::AsyncStats& async_stats);
 
 }  // namespace dmatch

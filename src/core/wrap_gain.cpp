@@ -51,9 +51,14 @@ congest::RunStats run_stage_checkpointed(
   DMATCH_EXPECTS(max_attempts >= 1);
 
   const StageCheckpoint checkpoint = StageCheckpoint::capture(net);
+  DMATCH_OBS(obs::Observer* const ob = net.observer(); if (ob != nullptr) {
+    ob->instant(obs::EventType::kCheckpointCapture, checkpoint.matching.size());
+    ob->shard(0)->count(ob->ids().checkpoint_captures);
+  })
   const int watchdog = congest::resilient_round_budget(inner_budget);
   congest::RunStats stats;
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    [[maybe_unused]] std::uint64_t rollback_cause = 0;  // 0 trip, 1 over-cap
     try {
       stats = net.run(congest::resilient_factory(factory, opts), watchdog);
       if (!stats.completed) degradation.budget_exhausted = true;
@@ -62,13 +67,29 @@ congest::RunStats run_stage_checkpointed(
       degradation.contract_tripped = true;
     } catch (const congest::MessageTooLarge&) {
       degradation.contract_tripped = true;
+      rollback_cause = 1;
     }
     // The replay faces a fresh adversary: the network's fault nonce and
     // lifetime round clock advanced during the aborted run.
     stats = congest::RunStats{};
     checkpoint.restore(net);
+    DMATCH_OBS(if (ob != nullptr) {
+      ob->instant(obs::EventType::kCheckpointRollback,
+                  static_cast<std::uint64_t>(attempt + 1), rollback_cause);
+      ob->shard(0)->count(ob->ids().checkpoint_rollbacks);
+    })
   }
+  DMATCH_OBS(std::uint64_t healed_before = 0; if (ob != nullptr) {
+    healed_before = degradation.dead_registers_healed +
+                    degradation.torn_registers_healed;
+  })
   net.heal_registers(&degradation);
+  DMATCH_OBS(if (ob != nullptr) {
+    ob->instant(obs::EventType::kCheckpointHeal,
+                degradation.dead_registers_healed +
+                    degradation.torn_registers_healed - healed_before);
+    ob->shard(0)->count(ob->ids().checkpoint_heals);
+  })
   return stats;
 }
 

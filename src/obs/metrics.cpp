@@ -1,0 +1,139 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <ostream>
+
+#include "support/assert.hpp"
+
+namespace dmatch::obs {
+
+MetricsRegistry::Id MetricsRegistry::counter(std::string name) {
+  return register_metric(std::move(name), MetricKind::kCounter, 1);
+}
+
+MetricsRegistry::Id MetricsRegistry::gauge_max(std::string name) {
+  return register_metric(std::move(name), MetricKind::kGaugeMax, 1);
+}
+
+MetricsRegistry::Id MetricsRegistry::histogram_log2(std::string name) {
+  // count, sum, then one bucket per bit width.
+  return register_metric(std::move(name), MetricKind::kHistogramLog2,
+                         2 + kHistBuckets);
+}
+
+MetricsRegistry::Id MetricsRegistry::register_metric(std::string name,
+                                                     MetricKind kind,
+                                                     std::uint32_t width) {
+  for (std::size_t i = 0; i < metrics_.size(); ++i) {
+    if (metrics_[i].name == name) {
+      DMATCH_EXPECTS(metrics_[i].kind == kind);
+      return static_cast<Id>(i);
+    }
+  }
+  metrics_.push_back({std::move(name), kind, slots_, width});
+  slots_ += width;
+  for (auto& s : shards_) s->vals.resize(slots_, 0);
+  return static_cast<Id>(metrics_.size() - 1);
+}
+
+void MetricsRegistry::ensure_shards(unsigned n) {
+  while (shards_.size() < n) {
+    shards_.push_back(std::make_unique<Slab>());
+    shards_.back()->vals.resize(slots_, 0);
+  }
+}
+
+std::vector<std::vector<std::uint64_t>> MetricsRegistry::snapshot() const {
+  std::vector<std::vector<std::uint64_t>> snap;
+  snap.reserve(shards_.size());
+  for (const auto& s : shards_) snap.push_back(s->vals);
+  return snap;
+}
+
+void MetricsRegistry::restore(
+    const std::vector<std::vector<std::uint64_t>>& snap) {
+  DMATCH_EXPECTS(snap.size() <= shards_.size());
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    // Slots registered since the snapshot (none in practice: the engine
+    // snapshots within one run) keep their current values.
+    std::copy(snap[i].begin(), snap[i].end(), shards_[i]->vals.begin());
+  }
+}
+
+std::vector<MetricsRegistry::Merged> MetricsRegistry::merged() const {
+  std::vector<std::size_t> order(metrics_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return metrics_[x].name < metrics_[y].name;
+  });
+
+  std::vector<Merged> out;
+  out.reserve(metrics_.size());
+  for (const std::size_t i : order) {
+    const Meta& m = metrics_[i];
+    Merged r;
+    r.name = m.name;
+    r.kind = m.kind;
+    if (m.kind == MetricKind::kHistogramLog2) {
+      r.buckets.assign(kHistBuckets, 0);
+      for (const auto& s : shards_) {
+        const std::uint64_t* v = s->vals.data() + m.offset;
+        r.count += v[0];
+        r.sum += v[1];
+        for (std::uint32_t b = 0; b < kHistBuckets; ++b) r.buckets[b] += v[2 + b];
+      }
+    } else {
+      for (const auto& s : shards_) {
+        const std::uint64_t v = s->vals[m.offset];
+        if (m.kind == MetricKind::kGaugeMax) {
+          r.value = std::max(r.value, v);
+        } else {
+          r.value += v;
+        }
+      }
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::uint64_t MetricsRegistry::merged_value(Id id) const {
+  const Meta& m = metrics_[id];
+  std::uint64_t v = 0;
+  for (const auto& s : shards_) {
+    const std::uint64_t x = s->vals[m.offset];  // histogram: slot 0 = count
+    v = m.kind == MetricKind::kGaugeMax ? std::max(v, x) : v + x;
+  }
+  return v;
+}
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  // Fixed layout + name-sorted order + integer-only values: the bytes
+  // of this export are a function of the merged values alone, which is
+  // what makes "byte-identical across thread counts" a testable claim.
+  out << "{\n";
+  bool first = true;
+  for (const Merged& m : merged()) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "  \"" << m.name << "\": ";
+    if (m.kind == MetricKind::kHistogramLog2) {
+      out << "{\"count\": " << m.count << ", \"sum\": " << m.sum
+          << ", \"buckets\": {";
+      bool fb = true;
+      for (std::uint32_t b = 0; b < kHistBuckets; ++b) {
+        if (m.buckets[b] == 0) continue;
+        if (!fb) out << ", ";
+        fb = false;
+        out << "\"" << b << "\": " << m.buckets[b];
+      }
+      out << "}}";
+    } else {
+      out << m.value;
+    }
+  }
+  out << "\n}\n";
+}
+
+}  // namespace dmatch::obs

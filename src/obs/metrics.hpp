@@ -1,0 +1,113 @@
+// Sharded metrics registry with deterministic merging.
+//
+// Metrics are registered up front on the driver thread and identified by
+// small dense ids; recording is an add into a per-shard slab of u64
+// slots (single writer per shard: the engine worker that owns it), so
+// the hot path is one indexed add with no atomics and no locks. Merging
+// is deterministic regardless of how work was sharded because every
+// merge operator is commutative and associative over u64: counters and
+// histogram buckets sum, gauges take the max. write_json() emits
+// metrics sorted by name with a fixed integer format, so the merged
+// export of a run is byte-identical for every num_threads — the `obs`
+// test label asserts exactly that.
+//
+// Histograms use fixed log2 bucketing (bucket = bit width of the value,
+// 0..64): nothing to configure, deterministic, and good enough to see
+// message-size and per-round-traffic distributions span decades.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dmatch::obs {
+
+enum class MetricKind : std::uint8_t { kCounter, kGaugeMax, kHistogramLog2 };
+
+class MetricsRegistry {
+ public:
+  using Id = std::uint32_t;
+  static constexpr std::uint32_t kHistBuckets = 65;  // bit widths 0..64
+
+  /// Register a metric (driver thread only, never while workers run).
+  /// Re-registering an existing (name, kind) pair returns the same id.
+  Id counter(std::string name);
+  Id gauge_max(std::string name);
+  Id histogram_log2(std::string name);
+
+  /// Grow to at least `n` single-writer slabs (driver thread only).
+  void ensure_shards(unsigned n);
+  [[nodiscard]] unsigned shard_count() const noexcept {
+    return static_cast<unsigned>(shards_.size());
+  }
+
+  // --- hot path (any thread, but one writer per `shard`) -------------
+  void add(unsigned shard, Id id, std::uint64_t v = 1) {
+    shards_[shard]->vals[metrics_[id].offset] += v;
+  }
+  void set_max(unsigned shard, Id id, std::uint64_t v) {
+    std::uint64_t& cur = shards_[shard]->vals[metrics_[id].offset];
+    if (v > cur) cur = v;
+  }
+  void observe(unsigned shard, Id id, std::uint64_t v) {
+    std::uint64_t* h = shards_[shard]->vals.data() + metrics_[id].offset;
+    h[0] += 1;               // count
+    h[1] += v;               // sum
+    h[2 + bucket_of(v)] += 1;
+  }
+
+  /// Raw base of `id`'s slots in `shard`'s slab (histogram layout:
+  /// [0] = count, [1] = sum, [2 + bucket] = bucket counts). Stable until
+  /// shards are grown AND a metric is registered in between; callers
+  /// (ShardObs) re-fetch it at every begin_run.
+  [[nodiscard]] std::uint64_t* slab_ptr(unsigned shard, Id id) {
+    return shards_[shard]->vals.data() + metrics_[id].offset;
+  }
+
+  /// Log2 bucket of a value (its bit width, 0..64).
+  static std::uint32_t bucket_of(std::uint64_t v) noexcept {
+    return v == 0 ? 0u : 64u - static_cast<std::uint32_t>(__builtin_clzll(v));
+  }
+
+  // --- rollback support (driver thread, workers quiescent) -----------
+  // The engine discards partial aborted rounds so the surviving metric
+  // stream is shard-layout independent; it snapshots slabs at round
+  // start and restores them if the round fails.
+  [[nodiscard]] std::vector<std::vector<std::uint64_t>> snapshot() const;
+  void restore(const std::vector<std::vector<std::uint64_t>>& snap);
+
+  // --- export (driver thread) ----------------------------------------
+  struct Merged {
+    std::string name;
+    MetricKind kind = MetricKind::kCounter;
+    std::uint64_t value = 0;                // counter / gauge
+    std::uint64_t count = 0, sum = 0;       // histogram
+    std::vector<std::uint64_t> buckets;     // histogram (log2, sparse ok)
+  };
+  /// Merged view across shards, sorted by name.
+  [[nodiscard]] std::vector<Merged> merged() const;
+  /// Canonical JSON object, byte-identical across thread counts.
+  void write_json(std::ostream& out) const;
+
+  [[nodiscard]] std::uint64_t merged_value(Id id) const;
+
+ private:
+  Id register_metric(std::string name, MetricKind kind, std::uint32_t width);
+
+  struct Meta {
+    std::string name;
+    MetricKind kind;
+    std::uint32_t offset;
+    std::uint32_t width;
+  };
+  struct alignas(64) Slab {
+    std::vector<std::uint64_t> vals;
+  };
+  std::vector<Meta> metrics_;
+  std::vector<std::unique_ptr<Slab>> shards_;
+  std::uint32_t slots_ = 0;
+};
+
+}  // namespace dmatch::obs

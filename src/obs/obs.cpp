@@ -1,0 +1,87 @@
+#include "obs/obs.hpp"
+
+namespace dmatch::obs {
+
+Observer::Observer(ObsConfig config) : config_(config) {
+  // Standard metrics are registered unconditionally (registration is
+  // cheap and keeps the slot layout identical across configs); whether
+  // anything is *recorded* is decided per ShardObs handle.
+  auto& m = metrics_;
+  ids_.engine_rounds = m.counter("engine.rounds");
+  ids_.engine_messages = m.counter("engine.messages");
+  ids_.engine_bits = m.counter("engine.bits");
+  ids_.engine_runs = m.counter("engine.runs");
+  ids_.engine_max_message_bits = m.gauge_max("engine.max_message_bits");
+  ids_.engine_message_bits_hist = m.histogram_log2("engine.message_bits");
+  ids_.engine_round_messages_hist = m.histogram_log2("engine.round_messages");
+  ids_.fault_dropped = m.counter("fault.dropped");
+  ids_.fault_duplicated = m.counter("fault.duplicated");
+  ids_.fault_delayed = m.counter("fault.delayed");
+  ids_.fault_reordered = m.counter("fault.reordered");
+  ids_.fault_crashed = m.counter("fault.crashed");
+  ids_.fault_restarted = m.counter("fault.restarted");
+  ids_.arq_fast_retransmits = m.counter("arq.fast_retransmits");
+  ids_.arq_timeout_retransmits = m.counter("arq.timeout_retransmits");
+  ids_.arq_dead_links = m.counter("arq.dead_links");
+  ids_.checkpoint_captures = m.counter("checkpoint.captures");
+  ids_.checkpoint_rollbacks = m.counter("checkpoint.rollbacks");
+  ids_.checkpoint_heals = m.counter("checkpoint.heals");
+  ids_.async_events = m.counter("async.events");
+  ids_.async_payload_messages = m.counter("async.payload_messages");
+  ids_.async_control_messages = m.counter("async.control_messages");
+  ids_.async_virtual_rounds = m.counter("async.virtual_rounds");
+}
+
+void Observer::ensure_handles(unsigned n) {
+  if (n == 0) n = 1;
+  metrics_.ensure_shards(n);
+  trace_.ensure_shards(n);
+  while (shards_.size() < n) {
+    auto h = std::make_unique<ShardObs>();
+    const auto s = static_cast<unsigned>(shards_.size());
+    h->owner_ = this;
+    h->ids_ = &ids_;
+    h->shard_ = s;
+    h->events_ = config_.trace ? &trace_.buffer(s) : nullptr;
+    h->registry_ = config_.metrics ? &metrics_ : nullptr;
+    shards_.push_back(std::move(h));
+  }
+}
+
+bool Observer::begin_run(unsigned num_shards, const Graph& g) {
+  ensure_handles(num_shards);
+  const bool profiled = config_.profile_links && profiler_.bind(g);
+  for (auto& h : shards_) {
+    h->now = clock_;
+    // Raw pointers for the per-message path; re-resolved every run
+    // because bind() and shard growth can move the underlying arrays.
+    h->link_ =
+        (profiled && h->shard_ < num_shards) ? profiler_.data() : nullptr;
+    h->bits_hist_ =
+        config_.metrics
+            ? metrics_.slab_ptr(h->shard_, ids_.engine_message_bits_hist)
+            : nullptr;
+  }
+  return profiled;
+}
+
+void Observer::phase_begin(std::string_view name, std::uint64_t index) {
+  if (!config_.trace) return;
+  ensure_handles(1);
+  const std::uint32_t id = trace_.intern(name);
+  shards_[0]->trace_at(clock_, EventType::kPhaseBegin, 0, id, index);
+}
+
+void Observer::phase_end(std::string_view name, std::uint64_t index) {
+  if (!config_.trace) return;
+  ensure_handles(1);
+  const std::uint32_t id = trace_.intern(name);
+  shards_[0]->trace_at(clock_, EventType::kPhaseEnd, 0, id, index);
+}
+
+void Observer::instant(EventType type, std::uint64_t a, std::uint64_t b) {
+  ensure_handles(1);
+  shards_[0]->trace_at(clock_, type, 0, a, b);
+}
+
+}  // namespace dmatch::obs

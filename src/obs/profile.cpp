@@ -1,0 +1,82 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "support/assert.hpp"
+
+namespace dmatch::obs {
+
+bool CongestionProfiler::bind(const Graph& g) {
+  if (g_ != nullptr) return g_ == &g;
+  // First graph bound wins. Pointer identity is sound as long as the
+  // bound graph outlives the Observer's reporting (true for the drivers:
+  // the input graph lives for the whole run; subsidiary nets built later
+  // cannot reuse its address while it is alive).
+  g_ = &g;
+  const auto n = static_cast<std::size_t>(g.node_count());
+  slot_offset_.assign(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    slot_offset_[v + 1] =
+        slot_offset_[v] +
+        static_cast<std::size_t>(g.degree(static_cast<NodeId>(v)));
+  }
+  link_.assign(2 * slot_offset_[n], 0);
+  return true;
+}
+
+std::vector<CongestionProfiler::LinkStat> CongestionProfiler::top_links(
+    std::size_t k) const {
+  std::vector<std::size_t> slots;
+  for (std::size_t s = 0; 2 * s < link_.size(); ++s) {
+    if (link_[2 * s] != 0) slots.push_back(s);
+  }
+  const auto by_heat = [&](std::size_t x, std::size_t y) {
+    if (link_[2 * x + 1] != link_[2 * y + 1]) {
+      return link_[2 * x + 1] > link_[2 * y + 1];
+    }
+    return x < y;
+  };
+  if (slots.size() > k) {
+    std::partial_sort(slots.begin(), slots.begin() + static_cast<std::ptrdiff_t>(k),
+                      slots.end(), by_heat);
+    slots.resize(k);
+  } else {
+    std::sort(slots.begin(), slots.end(), by_heat);
+  }
+
+  std::vector<LinkStat> out;
+  out.reserve(slots.size());
+  for (const std::size_t s : slots) {
+    const auto it =
+        std::upper_bound(slot_offset_.begin(), slot_offset_.end(), s);
+    const auto src =
+        static_cast<NodeId>(std::distance(slot_offset_.begin(), it) - 1);
+    const int port = static_cast<int>(s - slot_offset_[static_cast<std::size_t>(src)]);
+    out.push_back(
+        {src, g_->neighbor(src, port), link_[2 * s], link_[2 * s + 1]});
+  }
+  return out;
+}
+
+void CongestionProfiler::write_json(std::ostream& out, std::size_t top_k) const {
+  out << "{\n  \"links\": [";
+  bool first = true;
+  for (const LinkStat& l : top_links(top_k)) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n    {\"src\": " << l.src << ", \"dst\": " << l.dst
+        << ", \"messages\": " << l.messages << ", \"bits\": " << l.bits << "}";
+  }
+  out << "\n  ],\n  \"rounds\": {\n    \"messages\": [";
+  for (std::size_t i = 0; i < round_msgs_.size(); ++i) {
+    out << (i == 0 ? "" : ",") << round_msgs_[i];
+  }
+  out << "],\n    \"bits\": [";
+  for (std::size_t i = 0; i < round_bits_.size(); ++i) {
+    out << (i == 0 ? "" : ",") << round_bits_[i];
+  }
+  out << "]\n  }\n}\n";
+}
+
+}  // namespace dmatch::obs

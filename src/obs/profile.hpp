@@ -1,0 +1,100 @@
+// Congestion profiler: per-link traffic totals and per-round curves.
+//
+// The profiler binds to one graph's sender-side slot layout (slot =
+// slot_offset[v] + port, the same CSR prefix-sum layout the round
+// engine routes with). Each directed slot has exactly one writer — the
+// engine worker that owns the sending node's shard — so record() is two
+// plain adds into global arrays with no atomics, and the totals are
+// shard-layout independent by construction. Per-round message/bit
+// curves are appended by the driver thread at round end from the
+// engine's own per-round deltas, which doubles as the cross-check
+// against RunStats.round_messages (see core/verify).
+//
+// Runs on other graphs (e.g. the subsidiary nets built by the MCM/MWM
+// drivers) are not link-profiled: only the first graph bound after
+// construction is, so the hot-links report stays about the input graph.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dmatch::obs {
+
+class CongestionProfiler {
+ public:
+  /// Bind the profiler to `g`'s slot layout. Returns true if runs on
+  /// this graph should be profiled (first graph bound wins; re-binding
+  /// the same graph returns true again, any other graph false).
+  bool bind(const Graph& g);
+
+  [[nodiscard]] bool bound() const noexcept { return g_ != nullptr; }
+
+  // Hot path: single writer per slot (the sender's shard worker). The
+  // (messages, bits) pair of a slot is interleaved in one array so both
+  // adds land on the same cache line; ShardObs caches data() and inlines
+  // this in link_message().
+  void record(std::size_t slot, std::uint32_t bits) {
+    link_[2 * slot] += 1;
+    link_[2 * slot + 1] += bits;
+  }
+
+  /// Raw interleaved per-slot array ([2k] = messages, [2k+1] = bits of
+  /// slot k), stable until the next bind(). nullptr when unbound.
+  [[nodiscard]] std::uint64_t* data() noexcept {
+    return link_.empty() ? nullptr : link_.data();
+  }
+
+  /// Driver thread, once per executed round (any run, bound or not: the
+  /// curves cover the whole driver run, link totals only the bound graph).
+  void round_end(std::uint64_t msgs, std::uint64_t bits) {
+    round_msgs_.push_back(msgs);
+    round_bits_.push_back(bits);
+  }
+
+  // Aborted-round rollback (driver thread, workers quiescent): the
+  // engine snapshots the link arrays at round start under active fault
+  // plans and restores them if the round aborts, so partial layouts
+  // never leak into the totals.
+  struct LinkSnapshot {
+    std::vector<std::uint64_t> link;
+  };
+  [[nodiscard]] LinkSnapshot snapshot_links() const { return {link_}; }
+  void restore_links(const LinkSnapshot& s) {
+    // Element-wise so cached data() pointers stay valid.
+    std::copy(s.link.begin(), s.link.end(), link_.begin());
+  }
+
+  [[nodiscard]] const std::vector<std::uint64_t>& round_messages() const
+      noexcept {
+    return round_msgs_;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& round_bits() const noexcept {
+    return round_bits_;
+  }
+
+  struct LinkStat {
+    NodeId src = 0;
+    NodeId dst = 0;
+    std::uint64_t messages = 0;
+    std::uint64_t bits = 0;
+  };
+  /// Top-k directed links by bits (ties broken by slot id: stable and
+  /// shard-layout independent).
+  [[nodiscard]] std::vector<LinkStat> top_links(std::size_t k) const;
+
+  /// {"links":[...], "rounds":{"messages":[...], "bits":[...]}}
+  void write_json(std::ostream& out, std::size_t top_k) const;
+
+ private:
+  const Graph* g_ = nullptr;
+  std::vector<std::size_t> slot_offset_;  // size n+1, CSR prefix sums
+  std::vector<std::uint64_t> link_;       // interleaved (messages, bits)
+  std::vector<std::uint64_t> round_msgs_;
+  std::vector<std::uint64_t> round_bits_;
+};
+
+}  // namespace dmatch::obs

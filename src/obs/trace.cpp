@@ -1,0 +1,123 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <tuple>
+
+#include "support/assert.hpp"
+
+namespace dmatch::obs {
+
+const char* event_type_name(EventType t) noexcept {
+  switch (t) {
+    case EventType::kRoundStart: return "round.start";
+    case EventType::kRoundEnd: return "round.end";
+    case EventType::kPhaseBegin: return "phase.begin";
+    case EventType::kPhaseEnd: return "phase.end";
+    case EventType::kArqFastRetransmit: return "arq.fast_retransmit";
+    case EventType::kArqTimeoutRetransmit: return "arq.timeout_retransmit";
+    case EventType::kArqLinkDead: return "arq.link_dead";
+    case EventType::kFaultDrop: return "fault.drop";
+    case EventType::kFaultDuplicate: return "fault.duplicate";
+    case EventType::kFaultDelay: return "fault.delay";
+    case EventType::kFaultReorder: return "fault.reorder";
+    case EventType::kCrash: return "fault.crash";
+    case EventType::kRestart: return "fault.restart";
+    case EventType::kCheckpointCapture: return "checkpoint.capture";
+    case EventType::kCheckpointRollback: return "checkpoint.rollback";
+    case EventType::kCheckpointHeal: return "checkpoint.heal";
+    case EventType::kTypeCount: break;
+  }
+  return "unknown";
+}
+
+void TraceSink::ensure_shards(unsigned n) {
+  while (shards_.size() < n) shards_.push_back(std::make_unique<ShardBuf>());
+}
+
+std::uint32_t TraceSink::intern(std::string_view name) {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<std::uint32_t>(i);
+  }
+  names_.emplace_back(name);
+  return static_cast<std::uint32_t>(names_.size() - 1);
+}
+
+std::uint64_t TraceSink::event_count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s->events.size();
+  return total;
+}
+
+std::vector<TraceEvent> TraceSink::merged() const {
+  std::vector<TraceEvent> all;
+  all.reserve(event_count());
+  for (const auto& s : shards_) {
+    all.insert(all.end(), s->events.begin(), s->events.end());
+  }
+  std::sort(all.begin(), all.end(), [](const TraceEvent& x, const TraceEvent& y) {
+    return std::tie(x.t, x.type, x.actor, x.a, x.b) <
+           std::tie(y.t, y.type, y.actor, y.a, y.b);
+  });
+  return all;
+}
+
+namespace {
+
+const char* phase_name(const std::vector<std::string>& names, std::uint64_t id) {
+  return id < names.size() ? names[id].c_str() : "?";
+}
+
+}  // namespace
+
+void TraceSink::write_chrome_json(std::ostream& out) const {
+  // One JSON array of trace_event objects; ts is the round clock (shown
+  // as microseconds by the viewer — one tick per simulated round).
+  const std::vector<TraceEvent> all = merged();
+  out << "[";
+  bool first = true;
+  for (const TraceEvent& e : all) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n";
+    const auto type = static_cast<EventType>(e.type);
+    switch (type) {
+      case EventType::kRoundStart:
+        out << R"({"name":"round.active","ph":"C","pid":0,"tid":0,"ts":)" << e.t
+            << R"(,"args":{"active":)" << e.a << "}}";
+        break;
+      case EventType::kRoundEnd:
+        out << R"({"name":"round.traffic","ph":"C","pid":0,"tid":0,"ts":)"
+            << e.t << R"(,"args":{"messages":)" << e.a << R"(,"bits":)" << e.b
+            << "}}";
+        break;
+      case EventType::kPhaseBegin:
+      case EventType::kPhaseEnd:
+        out << R"({"name":")" << phase_name(names_, e.a) << R"(","ph":")"
+            << (type == EventType::kPhaseBegin ? "B" : "E")
+            << R"(","pid":0,"tid":0,"ts":)" << e.t << R"(,"args":{"index":)"
+            << e.b << "}}";
+        break;
+      default:
+        out << R"({"name":")" << event_type_name(type)
+            << R"(","ph":"i","s":"t","pid":0,"tid":)" << e.actor << R"(,"ts":)"
+            << e.t << R"(,"args":{"a":)" << e.a << R"(,"b":)" << e.b << "}}";
+        break;
+    }
+  }
+  out << "\n]\n";
+}
+
+void TraceSink::write_jsonl(std::ostream& out) const {
+  for (const TraceEvent& e : merged()) {
+    const auto type = static_cast<EventType>(e.type);
+    out << R"({"t":)" << e.t << R"(,"type":")" << event_type_name(type)
+        << R"(","actor":)" << e.actor << R"(,"a":)" << e.a << R"(,"b":)" << e.b;
+    if (type == EventType::kPhaseBegin || type == EventType::kPhaseEnd) {
+      out << R"(,"name":")" << phase_name(names_, e.a) << "\"";
+    }
+    out << "}\n";
+  }
+}
+
+}  // namespace dmatch::obs

@@ -1,0 +1,106 @@
+// Deterministic structured tracing for the simulator stack.
+//
+// A TraceSink collects fixed-size binary TraceEvent records into
+// per-shard buffers (single writer each: the engine worker that owns the
+// shard, or the driver thread for shard 0), so the hot path is a vector
+// append with no lock and no formatting. merged() collates the buffers
+// into one canonically ordered stream: events sort by
+// (t, type, actor, a, b), all of which are pure functions of the run
+// (round clock, node/slot ids, fault-plan decisions) and never of the
+// shard layout, so the merged trace of a run is identical for every
+// Network::Options::num_threads. tools/trace_summarize diffs two such
+// streams to check exactly that.
+//
+// Exports: Chrome trace_event JSON (loadable in chrome://tracing or
+// Perfetto: phases as B/E duration slices, rounds as counter tracks,
+// everything else as instants) and one-event-per-line JSONL for
+// scripting and determinism diffing.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dmatch::obs {
+
+enum class EventType : std::uint16_t {
+  kRoundStart = 0,       // a = nodes scheduled this round
+  kRoundEnd = 1,         // a = messages sent this round, b = bits
+  kPhaseBegin = 2,       // a = interned phase name, b = driver index (iter/ell)
+  kPhaseEnd = 3,         // a = interned phase name, b = driver index
+  kArqFastRetransmit = 4,     // actor = node, a = port, b = vround
+  kArqTimeoutRetransmit = 5,  // actor = node, a = port, b = vround
+  kArqLinkDead = 6,           // actor = node, a = port, b = cause (0 = retries
+                              // exhausted, 1 = silence limit)
+  kFaultDrop = 7,       // actor = receiver, a = receiver slot, b = round
+  kFaultDuplicate = 8,  // actor = receiver, a = receiver slot, b = extra delay
+  kFaultDelay = 9,      // actor = receiver, a = receiver slot, b = extra delay
+  kFaultReorder = 10,   // actor = reordered receiver
+  kCrash = 11,          // actor = crashed node
+  kRestart = 12,        // actor = restarted node
+  kCheckpointCapture = 13,   // a = attempt index
+  kCheckpointRollback = 14,  // a = attempt index, b = cause (0 = contract,
+                             // 1 = over-cap message)
+  kCheckpointHeal = 15,      // a = torn registers healed, b = dead healed
+  kTypeCount = 16,
+};
+
+/// Name of an event type as it appears in exports ("round.start", ...).
+[[nodiscard]] const char* event_type_name(EventType t) noexcept;
+
+struct TraceEvent {
+  std::uint64_t t = 0;        // global round clock (see Observer)
+  std::uint32_t actor = 0;    // node id / 0 for engine- or driver-level
+  std::uint16_t type = 0;     // EventType
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+class TraceSink {
+ public:
+  /// Grow to at least `n` single-writer buffers. Driver thread only,
+  /// never while engine workers are running. Existing buffers keep their
+  /// addresses (they are heap-boxed), so cached pointers stay valid.
+  void ensure_shards(unsigned n);
+
+  [[nodiscard]] std::vector<TraceEvent>& buffer(unsigned shard) {
+    return shards_[shard]->events;
+  }
+  [[nodiscard]] unsigned shard_count() const noexcept {
+    return static_cast<unsigned>(shards_.size());
+  }
+
+  /// Intern a phase name (driver thread only). Stable: the same name
+  /// always returns the same id within one sink.
+  std::uint32_t intern(std::string_view name);
+  [[nodiscard]] const std::vector<std::string>& names() const noexcept {
+    return names_;
+  }
+
+  [[nodiscard]] std::uint64_t event_count() const noexcept;
+
+  /// All events, canonically ordered (see file comment): identical for
+  /// every thread count, so two merged() streams can be compared with ==.
+  [[nodiscard]] std::vector<TraceEvent> merged() const;
+
+  /// Chrome trace_event JSON array ("[" ... "]").
+  void write_chrome_json(std::ostream& out) const;
+  /// One canonical JSON object per line, in merged() order.
+  void write_jsonl(std::ostream& out) const;
+
+ private:
+  // Cache-line-aligned so two workers appending to neighboring buffers
+  // do not share a line through the vector headers.
+  struct alignas(64) ShardBuf {
+    std::vector<TraceEvent> events;
+  };
+  std::vector<std::unique_ptr<ShardBuf>> shards_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace dmatch::obs

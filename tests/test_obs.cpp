@@ -1,0 +1,389 @@
+// Observability subsystem (src/obs): determinism, accuracy, and
+// zero-interference contracts.
+//
+//  * merged metrics are byte-identical and merged traces event-set
+//    identical across num_threads in {1, 2, 8}, fault-free and under an
+//    active fault plan (the `obs` label's headline guarantee);
+//  * a faulted half_mwm run traces phase transitions, ARQ retransmits,
+//    and checkpoint activity, and the Chrome export is well-formed;
+//  * attaching an Observer never changes the computation (bit-identical
+//    matching and stats vs an unobserved run);
+//  * per-round metrics agree with the engine's own RunStats and the
+//    async executor's AsyncStats (core/verify cross-checks), including
+//    the degenerate crashed-round case.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "congest/async.hpp"
+#include "congest/network.hpp"
+#include "core/half_mwm.hpp"
+#include "core/israeli_itai.hpp"
+#include "core/verify.hpp"
+#include "graph/generators.hpp"
+#include "obs/obs.hpp"
+
+namespace dmatch {
+namespace {
+
+using congest::FaultPlan;
+using congest::Model;
+using congest::Network;
+
+std::string metrics_json(const obs::Observer& ob) {
+  std::ostringstream out;
+  ob.metrics().write_json(out);
+  return out.str();
+}
+
+std::string profile_json(const obs::Observer& ob, std::size_t top_k) {
+  std::ostringstream out;
+  ob.profiler().write_json(out, top_k);
+  return out.str();
+}
+
+std::uint64_t count_events(const std::vector<obs::TraceEvent>& trace,
+                           obs::EventType type) {
+  std::uint64_t n = 0;
+  for (const obs::TraceEvent& e : trace) {
+    if (e.type == static_cast<std::uint16_t>(type)) ++n;
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------
+// Registry unit behavior
+// ---------------------------------------------------------------------
+
+TEST(MetricsRegistry, MergesCommutativelyAcrossShards) {
+  obs::MetricsRegistry reg;
+  const auto c = reg.counter("c");
+  const auto gm = reg.gauge_max("g");
+  const auto h = reg.histogram_log2("h");
+  reg.ensure_shards(3);
+  reg.add(0, c, 5);
+  reg.add(2, c, 7);
+  reg.set_max(1, gm, 9);
+  reg.set_max(2, gm, 4);
+  reg.observe(0, h, 1);    // bucket 1
+  reg.observe(1, h, 1);    // bucket 1
+  reg.observe(2, h, 300);  // bucket 9
+
+  EXPECT_EQ(reg.merged_value(c), 12u);
+  EXPECT_EQ(reg.merged_value(gm), 9u);
+  const auto merged = reg.merged();
+  ASSERT_EQ(merged.size(), 3u);  // sorted by name: c, g, h
+  EXPECT_EQ(merged[2].count, 3u);
+  EXPECT_EQ(merged[2].sum, 302u);
+  EXPECT_EQ(merged[2].buckets[1], 2u);
+  EXPECT_EQ(merged[2].buckets[9], 1u);
+}
+
+TEST(MetricsRegistry, SnapshotRestoreDiscardsLaterWrites) {
+  obs::MetricsRegistry reg;
+  const auto c = reg.counter("c");
+  reg.ensure_shards(2);
+  reg.add(0, c, 3);
+  const auto snap = reg.snapshot();
+  reg.add(1, c, 100);
+  EXPECT_EQ(reg.merged_value(c), 103u);
+  reg.restore(snap);
+  EXPECT_EQ(reg.merged_value(c), 3u);
+}
+
+TEST(TraceSink, MergedOrderIsCanonical) {
+  obs::TraceSink sink;
+  sink.ensure_shards(2);
+  sink.buffer(1).push_back({5, 1, 0, 0, 0});
+  sink.buffer(0).push_back({5, 0, 0, 0, 0});
+  sink.buffer(1).push_back({2, 9, 0, 0, 0});
+  const auto merged = sink.merged();
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].t, 2u);
+  EXPECT_EQ(merged[1].actor, 0u);
+  EXPECT_EQ(merged[2].actor, 1u);
+  EXPECT_EQ(sink.event_count(), 3u);
+}
+
+// ---------------------------------------------------------------------
+// Determinism across thread counts
+// ---------------------------------------------------------------------
+
+struct ObservedRun {
+  std::string metrics;
+  std::string profile;
+  std::vector<obs::TraceEvent> trace;
+  Matching matching;
+};
+
+ObservedRun observed_israeli_itai(unsigned num_threads,
+                                  const FaultPlan& fault = {}) {
+  const Graph g = gen::gnp(80, 0.12, 11);
+  obs::Observer ob;
+  Network::Options opt;
+  opt.num_threads = num_threads;
+  opt.fault = fault;
+  opt.observer = &ob;
+  Network net(g, Model::kCongest, 21, 48, opt);
+  IsraeliItaiResult result = israeli_itai(net);
+  return {metrics_json(ob), profile_json(ob, 8), ob.trace_sink().merged(),
+          std::move(result.matching)};
+}
+
+TEST(ObsDeterminism, IsraeliItaiIdenticalAcrossThreadCounts) {
+  const ObservedRun base = observed_israeli_itai(1);
+  EXPECT_FALSE(base.trace.empty());
+  for (const unsigned threads : {2u, 8u}) {
+    const ObservedRun run = observed_israeli_itai(threads);
+    EXPECT_EQ(run.metrics, base.metrics) << threads << " threads";
+    EXPECT_EQ(run.profile, base.profile) << threads << " threads";
+    EXPECT_TRUE(run.trace == base.trace) << threads << " threads";
+    EXPECT_TRUE(run.matching == base.matching) << threads << " threads";
+  }
+}
+
+TEST(ObsDeterminism, IsraeliItaiIdenticalAcrossThreadCountsUnderFaults) {
+  FaultPlan fault;
+  fault.drop_prob = 0.05;
+  fault.duplicate_prob = 0.02;
+  fault.delay_prob = 0.02;
+  fault.reorder_prob = 0.05;
+  fault.crash_prob = 0.05;
+  fault.restart_prob = 0.5;
+  fault.seed = 77;
+  const ObservedRun base = observed_israeli_itai(1, fault);
+  EXPECT_FALSE(base.trace.empty());
+  for (const unsigned threads : {2u, 8u}) {
+    const ObservedRun run = observed_israeli_itai(threads, fault);
+    EXPECT_EQ(run.metrics, base.metrics) << threads << " threads";
+    EXPECT_EQ(run.profile, base.profile) << threads << " threads";
+    EXPECT_TRUE(run.trace == base.trace) << threads << " threads";
+    EXPECT_TRUE(run.matching == base.matching) << threads << " threads";
+  }
+}
+
+TEST(ObsDeterminism, FaultedHalfMwmIdenticalAcrossThreadCounts) {
+  const Graph g = gen::with_uniform_weights(gen::gnp(50, 0.12, 13), 1, 8, 13);
+  std::string base_metrics;
+  std::vector<obs::TraceEvent> base_trace;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    obs::Observer ob;
+    HalfMwmOptions options;
+    options.seed = 5;
+    options.num_threads = threads;
+    options.fault.drop_prob = 0.08;
+    options.fault.crash_prob = 0.02;
+    options.fault.restart_prob = 0.5;
+    options.fault.seed = 3;
+    options.observer = &ob;
+    (void)half_mwm(g, options);
+    if (threads == 1) {
+      base_metrics = metrics_json(ob);
+      base_trace = ob.trace_sink().merged();
+      EXPECT_FALSE(base_trace.empty());
+    } else {
+      EXPECT_EQ(metrics_json(ob), base_metrics) << threads << " threads";
+      EXPECT_TRUE(ob.trace_sink().merged() == base_trace)
+          << threads << " threads";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Trace content and export formats
+// ---------------------------------------------------------------------
+
+TEST(ObsTrace, FaultedHalfMwmTracesPhasesRetransmitsAndCheckpoints) {
+  const Graph g = gen::with_uniform_weights(gen::gnp(60, 0.1, 17), 1, 8, 17);
+  obs::Observer ob;
+  HalfMwmOptions options;
+  options.seed = 9;
+  options.num_threads = 2;
+  options.fault.drop_prob = 0.1;
+  options.fault.crash_prob = 0.02;
+  options.fault.restart_prob = 0.5;
+  options.fault.seed = 19;
+  options.observer = &ob;
+  const HalfMwmResult result = half_mwm(g, options);
+  EXPECT_TRUE(result.matching.is_valid(g));
+
+  const auto trace = ob.trace_sink().merged();
+  EXPECT_GT(count_events(trace, obs::EventType::kPhaseBegin), 0u);
+  EXPECT_EQ(count_events(trace, obs::EventType::kPhaseBegin),
+            count_events(trace, obs::EventType::kPhaseEnd));
+  EXPECT_GT(count_events(trace, obs::EventType::kRoundEnd), 0u);
+  EXPECT_GT(count_events(trace, obs::EventType::kFaultDrop), 0u);
+  EXPECT_GT(count_events(trace, obs::EventType::kArqFastRetransmit) +
+                count_events(trace, obs::EventType::kArqTimeoutRetransmit),
+            0u);
+  EXPECT_GT(count_events(trace, obs::EventType::kCheckpointCapture), 0u);
+
+  // Metrics agree with the trace on retransmit and checkpoint totals.
+  const auto& ids = ob.ids();
+  const auto& reg = ob.metrics();
+  EXPECT_EQ(reg.merged_value(ids.arq_fast_retransmits),
+            count_events(trace, obs::EventType::kArqFastRetransmit));
+  EXPECT_EQ(reg.merged_value(ids.arq_timeout_retransmits),
+            count_events(trace, obs::EventType::kArqTimeoutRetransmit));
+  EXPECT_EQ(reg.merged_value(ids.checkpoint_captures),
+            count_events(trace, obs::EventType::kCheckpointCapture));
+
+  // Exports: Chrome JSON is a single array, JSONL has one line per event.
+  std::ostringstream chrome;
+  ob.trace_sink().write_chrome_json(chrome);
+  const std::string chrome_s = chrome.str();
+  ASSERT_FALSE(chrome_s.empty());
+  EXPECT_EQ(chrome_s.front(), '[');
+  EXPECT_EQ(chrome_s[chrome_s.find_last_not_of('\n')], ']');
+
+  std::ostringstream jsonl;
+  ob.trace_sink().write_jsonl(jsonl);
+  std::uint64_t lines = 0;
+  for (const char c : jsonl.str()) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, ob.trace_sink().event_count());
+  EXPECT_EQ(lines, trace.size());
+}
+
+// ---------------------------------------------------------------------
+// Zero interference: observing never changes the computation
+// ---------------------------------------------------------------------
+
+TEST(ObsInterference, ObservedRunBitIdenticalToUnobserved) {
+  const Graph g = gen::gnp(70, 0.12, 23);
+  FaultPlan fault;
+  fault.drop_prob = 0.08;
+  fault.crash_prob = 0.03;
+  fault.restart_prob = 0.5;
+  fault.seed = 29;
+
+  const auto run = [&](obs::Observer* ob) {
+    Network::Options opt;
+    opt.num_threads = 2;
+    opt.fault = fault;
+    opt.observer = ob;
+    Network net(g, Model::kCongest, 31, 48, opt);
+    return israeli_itai(net);
+  };
+  obs::Observer ob;
+  const IsraeliItaiResult observed = run(&ob);
+  const IsraeliItaiResult plain = run(nullptr);
+  EXPECT_TRUE(observed.matching == plain.matching);
+  EXPECT_EQ(observed.stats.rounds, plain.stats.rounds);
+  EXPECT_EQ(observed.stats.messages, plain.stats.messages);
+  EXPECT_EQ(observed.stats.total_bits, plain.stats.total_bits);
+  EXPECT_EQ(observed.stats.round_messages, plain.stats.round_messages);
+  EXPECT_EQ(observed.stats.dropped_messages, plain.stats.dropped_messages);
+}
+
+// ---------------------------------------------------------------------
+// Round accounting (the core/verify cross-checks)
+// ---------------------------------------------------------------------
+
+TEST(ObsAccounting, EngineRoundCurveMatchesRunStatsAndProfiler) {
+  const Graph g = gen::gnp(60, 0.15, 37);
+  obs::Observer ob;
+  Network::Options opt;
+  opt.num_threads = 2;
+  opt.observer = &ob;
+  Network net(g, Model::kCongest, 41, 48, opt);
+  const IsraeliItaiResult result = israeli_itai(net);
+
+  EXPECT_TRUE(verify_round_accounting(result.stats));
+  // Per-round metrics and RunStats must agree (ISSUE 4 satellite 6).
+  ASSERT_EQ(ob.profiler().round_messages().size(),
+            result.stats.round_messages.size());
+  EXPECT_EQ(ob.profiler().round_messages(), result.stats.round_messages);
+  EXPECT_EQ(ob.metrics().merged_value(ob.ids().engine_messages),
+            result.stats.messages);
+  EXPECT_EQ(ob.metrics().merged_value(ob.ids().engine_rounds),
+            result.stats.rounds);
+}
+
+TEST(ObsAccounting, FaultedEngineRoundCurveStillMatches) {
+  const Graph g = gen::gnp(60, 0.15, 43);
+  obs::Observer ob;
+  Network::Options opt;
+  opt.num_threads = 2;
+  opt.fault.drop_prob = 0.1;
+  opt.fault.crash_prob = 0.05;
+  opt.fault.restart_prob = 0.5;
+  opt.fault.seed = 47;
+  opt.observer = &ob;
+  Network net(g, Model::kCongest, 53, 48, opt);
+  const IsraeliItaiResult result = israeli_itai(net);
+
+  EXPECT_TRUE(verify_round_accounting(result.stats));
+  ASSERT_EQ(ob.profiler().round_messages().size(),
+            result.stats.round_messages.size());
+  EXPECT_EQ(ob.profiler().round_messages(), result.stats.round_messages);
+}
+
+TEST(ObsAccounting, AsyncRoundPayloadsSumToPayloadMessages) {
+  const Graph g = gen::gnp(40, 0.12, 59);
+  obs::Observer ob;
+  congest::AsyncOptions options;
+  options.fault.drop_prob = 0.05;
+  options.fault.crash_prob = 0.1;
+  options.fault.restart_prob = 0.5;
+  options.fault.seed = 61;
+  options.observer = &ob;
+  const auto result =
+      congest::run_synchronized(g, israeli_itai_factory(), 67, 1 << 14,
+                                options);
+  EXPECT_TRUE(verify_round_accounting(result.stats));
+  EXPECT_EQ(ob.metrics().merged_value(ob.ids().async_payload_messages),
+            result.stats.payload_messages);
+  EXPECT_EQ(ob.metrics().merged_value(ob.ids().async_virtual_rounds),
+            result.stats.virtual_rounds);
+}
+
+TEST(ObsAccounting, SyncAndAsyncRoundHistoriesAgree) {
+  // Same protocol, same seed, same crash/restart plan, two executors:
+  // the per-round send curves must be the same history (this is the
+  // check that caught the async executor's degenerate crashed rounds
+  // dropping out of the curve entirely).
+  const Graph g = gen::gnp(40, 0.12, 71);
+  FaultPlan fault;
+  fault.crash_prob = 0.1;
+  fault.restart_prob = 0.5;
+  fault.seed = 73;
+
+  Network::Options opt;
+  opt.fault = fault;
+  Network net(g, Model::kCongest, 79, 48, opt);
+  const congest::RunStats sync_stats =
+      net.run(israeli_itai_factory(), 1 << 14);
+
+  congest::AsyncOptions aopt;
+  aopt.fault = fault;
+  const auto async_result =
+      congest::run_synchronized(g, israeli_itai_factory(), 79, 1 << 14, aopt);
+
+  EXPECT_TRUE(verify_round_accounting(sync_stats));
+  EXPECT_TRUE(verify_round_accounting(async_result.stats));
+  EXPECT_TRUE(verify_round_histories_agree(sync_stats, async_result.stats));
+}
+
+// ---------------------------------------------------------------------
+// ARQ tuning surface (ISSUE 4 satellite 1)
+// ---------------------------------------------------------------------
+
+TEST(ObsArqTuning, WindowSixteenSurvivesHeavyDrops) {
+  const Graph g = gen::gnp(60, 0.12, 83);
+  for (const int window : {8, 16}) {
+    Network::Options opt;
+    opt.fault.drop_prob = 0.1;
+    opt.fault.seed = 89;
+    Network net(g, Model::kCongest, 97, 48, opt);
+    IsraeliItaiOptions options;
+    options.arq.window = window;
+    const IsraeliItaiResult result = israeli_itai(net, options);
+    EXPECT_TRUE(result.matching.is_valid(g)) << "window " << window;
+    EXPECT_FALSE(result.degradation.budget_exhausted) << "window " << window;
+  }
+}
+
+}  // namespace
+}  // namespace dmatch

@@ -33,12 +33,23 @@
 //   --fault-seed S     seed of the fault stream (default 1)
 // With any fault option the run degrades gracefully and a JSON
 // degradation report line is printed after the matching.
+//
+// Observability (maximal, mcm-bipartite, mcm-general, mwm):
+//   --trace-out FILE    write a Chrome trace_event JSON to FILE and a
+//                       structured event log to FILE.jsonl
+//   --metrics-out FILE  write the merged metrics registry as JSON
+//   --profile-links K   print the top-K hot links + per-round curves as
+//                       a JSON congestion report on stdout
+//   --arq-window W      resilient-layer ARQ window (1..16; fault mode)
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
+
+#include "obs/obs.hpp"
 
 #include "core/api.hpp"
 #include "graph/blossom.hpp"
@@ -190,15 +201,38 @@ int run(const Args& args) {
               << "\n";
     return 2;
   }
+  // Observability sinks (shared across every network the run creates).
+  const std::string trace_out = args.get("trace-out");
+  const std::string metrics_out = args.get("metrics-out");
+  const std::size_t profile_links =
+      static_cast<std::size_t>(std::stoul(args.get("profile-links", "0")));
+  std::unique_ptr<obs::Observer> observer;
+  if (!trace_out.empty() || !metrics_out.empty() || profile_links > 0) {
+    obs::ObsConfig cfg;
+    cfg.trace = !trace_out.empty();
+    cfg.metrics = true;
+    cfg.profile_links = true;
+    if (profile_links > 0) cfg.top_k = profile_links;
+    observer = std::make_unique<obs::Observer>(cfg);
+  }
+
+  congest::ResilientOptions arq;
+  arq.window = std::stoi(args.get("arq-window", std::to_string(arq.window)));
+  DMATCH_EXPECTS(arq.window >= 1);
+
   congest::Network::Options net_options;
   net_options.fault = fault;
+  net_options.observer = observer.get();
   if (args.command == "maximal") {
-    const auto result = maximal_matching(g, seed, 48, net_options);
+    IsraeliItaiOptions options;
+    options.arq = arq;
+    const auto result = maximal_matching(g, seed, 48, net_options, options);
     report(g, result.matching, &result.stats, args);
     if (fault.any()) report_degradation(result.degradation);
   } else if (args.command == "mcm-bipartite") {
     BipartiteMcmOptions options;
     options.k = std::stoi(args.get("k", "5"));
+    options.phase.arq = arq;
     const auto result = approx_mcm_bipartite(g, seed, options, 48, net_options);
     report(g, result.matching, &result.stats, args);
     if (fault.any()) report_degradation(result.degradation);
@@ -207,6 +241,8 @@ int run(const Args& args) {
     options.k = std::stoi(args.get("k", "3"));
     options.seed = seed;
     options.fault = fault;
+    options.arq = arq;
+    options.observer = observer.get();
     const auto result = approx_mcm_general(g, options);
     report(g, result.matching, &result.stats, args);
     if (fault.any()) report_degradation(result.degradation);
@@ -215,6 +251,8 @@ int run(const Args& args) {
     options.epsilon = std::stod(args.get("epsilon", "0.1"));
     options.seed = seed;
     options.fault = fault;
+    options.arq = arq;
+    options.observer = observer.get();
     const auto result = approx_mwm(g, options);
     report(g, result.matching, &result.stats, args);
     if (fault.any()) report_degradation(result.degradation);
@@ -243,6 +281,30 @@ int run(const Args& args) {
   } else {
     std::cerr << "unknown command: " << args.command << "\n";
     return 2;
+  }
+
+  if (observer != nullptr) {
+    if (!trace_out.empty()) {
+      std::ofstream chrome(trace_out);
+      DMATCH_EXPECTS(chrome.good());
+      observer->trace_sink().write_chrome_json(chrome);
+      std::ofstream jsonl(trace_out + ".jsonl");
+      DMATCH_EXPECTS(jsonl.good());
+      observer->trace_sink().write_jsonl(jsonl);
+      std::cout << "wrote " << trace_out << " and " << trace_out << ".jsonl ("
+                << observer->trace_sink().event_count() << " events)\n";
+    }
+    if (!metrics_out.empty()) {
+      std::ofstream metrics(metrics_out);
+      DMATCH_EXPECTS(metrics.good());
+      observer->metrics().write_json(metrics);
+      std::cout << "wrote " << metrics_out << "\n";
+    }
+    if (profile_links > 0) {
+      std::cout << "congestion: ";
+      observer->profiler().write_json(std::cout, profile_links);
+      std::cout << "\n";
+    }
   }
   return 0;
 }

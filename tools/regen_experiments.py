@@ -10,6 +10,7 @@ Each experiment entry pairs a prose claim/expectation block with the
 verbatim table the corresponding bench binary printed.
 """
 import argparse
+import json
 import pathlib
 import sys
 
@@ -152,6 +153,31 @@ ENTRIES = [
      "matcher.\n\n"
      "**Measured:** validity by construction, ratios tracking the\n"
      "plain-matching experiments, at a constant-factor larger simulated graph.\n"),
+    ("bench_round_engine", "E18 — Simulator scaling: the parallel sharded round engine",
+     "**Claim (engineering, not the paper's).** A CONGEST round is a BSP\n"
+     "superstep, so the sharded round engine should produce bit-identical\n"
+     "rounds/messages for any worker-thread count and scale\n"
+     "node-steps-per-second with threads up to the core count.\n\n"
+     "**Expectation.** `rounds`/`messages` constant down each `n` block;\n"
+     "`speedup vs 1T` ≥ 2 at 4 threads on `n = 1e5` on ≥ 4 cores. Also\n"
+     "writes `BENCH_round_engine.json` at the repo root.\n"),
+    ("bench_fault_ratio", "E19/E20 — Graceful degradation and ARQ round overhead",
+     "**Claim (engineering, not the paper's).** E19: under injected drops and\n"
+     "crashes the drivers terminate within budget, return valid matchings that\n"
+     "match no crashed node, and lose quality only by about the dead fraction.\n"
+     "E20: the selective-repeat link layer stays within ~2× real rounds of the\n"
+     "fault-free baseline through drop = 0.05 where the window-1\n"
+     "stop-and-wait degenerate collapses; the window-16 arm records whether\n"
+     "the full 16-bit SACK window closes the drop = 0.1 gap of window 8.\n"
+     "Also writes `BENCH_fault_ratio.json` at the repo root.\n"),
+    ("bench_obs_overhead", "E21 — Observability overhead (src/obs)",
+     "**Claim (engineering, not the paper's).** Full observation (metrics +\n"
+     "trace + link profiler) slows the protocol round loop by < 5%; an\n"
+     "unattached Observer costs one branch per round; building with\n"
+     "`-DDMATCH_OBS_DISABLED` compiles every hook out (0% by construction).\n\n"
+     "**Expectation.** `overhead` < 0.05 on the protocol rows; the flood rows\n"
+     "bound the hook's raw per-message cost against a near-empty baseline.\n"
+     "Also writes `BENCH_obs_overhead.json` at the repo root.\n"),
 ]
 
 SUMMARY = """## Summary
@@ -175,11 +201,42 @@ SUMMARY = """## Summary
 | E15 | synchrony WLOG | identical results; measured overhead |
 | E16 | convergence schedules | Lemma 3.3/3.13 shapes reproduced |
 | E17 | c-matching extension | reduction preserves quality |
+| E18 | round-engine scaling | thread-count-invariant results; parallel speedup needs multicore hardware |
+| E19 | graceful degradation under faults | drops fully masked by ARQ; crashes cost ≈ the dead fraction; 0 invalid matchings |
+| E20 | selective-repeat ARQ overhead | ~1.03× lossless, ≤ 2× through 5 % drops; window 16 does NOT close the 10 %-drop gap (loss-recovery-bound) |
+| E21 | observability overhead | < 5 % enabled on the protocol round loop; 0 % compiled out |
 
 No experiment violated a guarantee. Absolute round counts are simulator
 artifacts (constants depend on protocol framing); every *scaling* claim of
 the paper reproduces.
 """
+
+
+def bench_json_section() -> str:
+    """Index the machine-readable BENCH_*.json result files at the repo
+    root (written by the bench binaries themselves, schema
+    {"bench", "commit", "cells": [...]})."""
+    root = pathlib.Path(__file__).resolve().parent.parent
+    files = sorted(root.glob("BENCH_*.json"))
+    if not files:
+        return ""
+    section = (
+        "\n## Machine-readable results\n\n"
+        "Written at the repo root by the bench binaries (schema\n"
+        '`{"bench", "commit", "cells": [...]}`):\n\n'
+        "| file | bench | commit | cells |\n|---|---|---|---|\n"
+    )
+    for f in files:
+        try:
+            data = json.loads(f.read_text())
+        except (OSError, json.JSONDecodeError):
+            section += f"| {f.name} | (unreadable) | | |\n"
+            continue
+        section += (
+            f"| {f.name} | {data.get('bench', '?')} "
+            f"| {data.get('commit', '?')} | {len(data.get('cells', []))} |\n"
+        )
+    return section
 
 
 def main() -> int:
@@ -202,6 +259,7 @@ def main() -> int:
             body = "(run the binary to regenerate)\n"
         doc += "```\n" + body.strip() + "\n```\n\n---\n\n"
     doc += SUMMARY
+    doc += bench_json_section()
 
     pathlib.Path(args.out).write_text(doc)
     print(f"wrote {args.out} ({len(doc)} bytes)")

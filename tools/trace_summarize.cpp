@@ -1,0 +1,123 @@
+// Summarize or diff structured trace logs (the .jsonl files written by
+// dmatch_cli --trace-out and obs::TraceSink::write_jsonl).
+//
+// Usage:
+//   trace_summarize A.jsonl            summary: events per type, time span
+//   trace_summarize A.jsonl B.jsonl    determinism diff: compares the two
+//                                      event multisets and exits 1 if they
+//                                      differ (order is ignored -- merged
+//                                      traces are event-SET identical
+//                                      across thread counts, and the
+//                                      writer already sorts canonically)
+//
+// The diff mode is the check behind the obs test label: run the same
+// workload at two thread counts with --trace-out, then diff the logs.
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+/// Extract the string value of `key` from a flat one-line JSON object
+/// ("" if absent). Good enough for the writer's own fixed format; this
+/// is not a general JSON parser.
+std::string json_field(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return "";
+  auto begin = pos + needle.size();
+  if (begin < line.size() && line[begin] == '"') {
+    ++begin;
+    const auto end = line.find('"', begin);
+    return line.substr(begin, end - begin);
+  }
+  auto end = begin;
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  return line.substr(begin, end - begin);
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::cerr << "error: cannot open " << path << "\n";
+    std::exit(2);
+  }
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  if (!lines.empty() && lines.front().rfind("[", 0) == 0) {
+    std::cerr << "error: " << path
+              << " is a Chrome trace_event JSON (starts with '['); this "
+                 "tool reads the structured .jsonl log — dmatch_cli "
+                 "--trace-out FILE writes both FILE and FILE.jsonl\n";
+    std::exit(2);
+  }
+  return lines;
+}
+
+int summarize(const std::string& path) {
+  const std::vector<std::string> lines = read_lines(path);
+  std::map<std::string, std::uint64_t> by_type;
+  std::uint64_t t_min = UINT64_MAX;
+  std::uint64_t t_max = 0;
+  for (const std::string& line : lines) {
+    ++by_type[json_field(line, "type")];
+    const std::string t = json_field(line, "t");
+    if (!t.empty()) {
+      const std::uint64_t tv = std::stoull(t);
+      t_min = std::min(t_min, tv);
+      t_max = std::max(t_max, tv);
+    }
+  }
+  std::cout << path << ": " << lines.size() << " events";
+  if (!lines.empty()) std::cout << ", rounds " << t_min << ".." << t_max;
+  std::cout << "\n";
+  for (const auto& [type, count] : by_type) {
+    std::cout << "  " << type << ": " << count << "\n";
+  }
+  return 0;
+}
+
+int diff(const std::string& path_a, const std::string& path_b) {
+  std::vector<std::string> a = read_lines(path_a);
+  std::vector<std::string> b = read_lines(path_b);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  if (a == b) {
+    std::cout << "traces agree (" << a.size() << " events)\n";
+    return 0;
+  }
+  // Report the first few events on each side that the other lacks.
+  std::vector<std::string> only_a;
+  std::vector<std::string> only_b;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(only_a));
+  std::set_difference(b.begin(), b.end(), a.begin(), a.end(),
+                      std::back_inserter(only_b));
+  std::cout << "traces DIFFER: " << a.size() << " vs " << b.size()
+            << " events, " << only_a.size() << " only in " << path_a << ", "
+            << only_b.size() << " only in " << path_b << "\n";
+  constexpr std::size_t kShow = 5;
+  for (std::size_t i = 0; i < std::min(kShow, only_a.size()); ++i) {
+    std::cout << "  < " << only_a[i] << "\n";
+  }
+  for (std::size_t i = 0; i < std::min(kShow, only_b.size()); ++i) {
+    std::cout << "  > " << only_b[i] << "\n";
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 2) return summarize(argv[1]);
+  if (argc == 3) return diff(argv[1], argv[2]);
+  std::cerr << "usage: trace_summarize A.jsonl [B.jsonl]\n";
+  return 2;
+}

@@ -1,22 +1,27 @@
 #include "congest/async.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
+#include <limits>
 #include <map>
 #include <queue>
+#include <thread>
+#include <tuple>
 #include <utility>
 
 #include "support/assert.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 
 namespace dmatch::congest {
 
 namespace {
 
-enum class EventKind : std::uint8_t { kData, kAck, kSafe };
+enum class EventKind : std::uint8_t { kData = 0, kAck = 1, kSafe = 2 };
 
 struct Event {
   double time = 0;
-  std::uint64_t seq = 0;  // tie-break for determinism
   NodeId dst = kNoNode;
   int dst_port = -1;  // port at the destination the message arrives on
   EventKind kind = EventKind::kData;
@@ -27,10 +32,22 @@ struct Event {
   Message payload;
 };
 
+/// Canonical event key. (dst, kind, dst_port, round, synth) is unique per
+/// run — the executor enforces at most one DATA per directed port per
+/// round, each DATA begets at most one ACK, and a node announces SAFE(r)
+/// to each neighbor once — so this is a strict total order on the events
+/// of a run and pop order never depends on insertion order or shard
+/// layout. Delivery delays are pure hashes of the same key, so event
+/// timestamps are also independent of execution order.
+[[nodiscard]] std::tuple<double, NodeId, int, int, int, bool> event_key(
+    const Event& e) {
+  return {e.time, e.dst,  static_cast<int>(e.kind),
+          e.dst_port, e.round, e.synth};
+}
+
 struct EventLater {
   bool operator()(const Event& a, const Event& b) const {
-    if (a.time != b.time) return a.time > b.time;
-    return a.seq > b.seq;
+    return event_key(a) > event_key(b);
   }
 };
 
@@ -68,6 +85,11 @@ class AsyncContext final : public Context {
   }
   void clear_mate() override { mate_port_ = -1; }
 
+#ifndef DMATCH_OBS_DISABLED
+  [[nodiscard]] obs::ShardObs* obs() noexcept override { return obs_; }
+  void attach_obs(obs::ShardObs* o) noexcept { obs_ = o; }
+#endif
+
  private:
   const Graph& g_;
   NodeId id_;
@@ -75,6 +97,9 @@ class AsyncContext final : public Context {
   Rng& rng_;
   int& mate_port_;
   std::vector<std::pair<int, Message>>& outbox_;
+#ifndef DMATCH_OBS_DISABLED
+  obs::ShardObs* obs_ = nullptr;
+#endif
 };
 
 /// A payload due on a later simulated round than sender_round + 1
@@ -86,7 +111,7 @@ struct ExtraEnvelope {
   Message msg;
 };
 
-/// Per-node synchronizer state.
+/// Per-node synchronizer state. Written only by the shard owning the node.
 struct NodeState {
   std::unique_ptr<Process> proc;
   Rng rng{0};
@@ -97,6 +122,23 @@ struct NodeState {
   int pending_acks = 0;               // for the DATA of executed_round
   bool announced_safe = false;        // SAFE(executed_round) already sent
   bool respawned = false;             // crash-restart already performed
+};
+
+/// Per-shard state of the wave executor. Everything here has a single
+/// writer (the worker owning the shard); the driver reads it only while
+/// the pool is parked (the pool handshake gives happens-before).
+struct alignas(64) AsyncShard {
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue;
+  AsyncStats stats;           // shard-local accumulators, merged at the end
+  double max_time = 0;        // folded into stats.completion_time
+  std::int64_t inflight_delta = 0;  // DATA sent minus DATA delivered
+  std::exception_ptr error;
+  std::uint64_t stamp_token = 0;    // for the one-message-per-port contract
+  std::vector<std::uint64_t> port_stamp;
+#ifndef DMATCH_OBS_DISABLED
+  obs::ShardObs* sobs = nullptr;
+  std::vector<std::uint64_t> round_bits;  // parallels stats.round_payloads
+#endif
 };
 
 class AlphaSynchronizerRun {
@@ -110,11 +152,33 @@ class AlphaSynchronizerRun {
         max_rounds_(max_rounds),
         options_(options),
         fault_(options.fault.any()),
-        delay_rng_(seed ^ 0xd37a11ce5ULL) {
+        dseed_(fault_detail::mix(seed, 0xd37a11ce5ULL, 0, 0)) {
     DMATCH_EXPECTS(mate_ports_.size() ==
                    static_cast<std::size_t>(g.node_count()));
+    unsigned threads = options.num_threads != 0
+                           ? options.num_threads
+                           : std::max(1u, std::thread::hardware_concurrency());
+    num_shards_ = std::max(1u, threads);
+    const auto n = static_cast<std::size_t>(g.node_count());
+    shard_len_ = num_shards_ > 1
+                     ? (n + num_shards_ - 1) / num_shards_
+                     : (n == 0 ? 1 : n);
+    if (shard_len_ == 0) shard_len_ = 1;
+    shards_.resize(num_shards_);
+    lanes_.resize(static_cast<std::size_t>(num_shards_) * num_shards_);
+    int max_degree = 0;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      max_degree = std::max(max_degree, g.degree(v));
+    }
+    for (AsyncShard& sh : shards_) {
+      sh.port_stamp.assign(static_cast<std::size_t>(max_degree), 0);
+    }
+    if (num_shards_ > 1) {
+      pool_ = std::make_unique<support::ThreadPool>(num_shards_);
+    }
+
     Rng root(seed);
-    nodes_.resize(static_cast<std::size_t>(g.node_count()));
+    nodes_.resize(n);
     for (NodeId v = 0; v < g.node_count(); ++v) {
       auto& node = nodes_[static_cast<std::size_t>(v)];
       node.proc = factory(v, g);
@@ -127,47 +191,48 @@ class AlphaSynchronizerRun {
       sched_ = fault_detail::compute_crash_schedule(options_.fault,
                                                     g.node_count());
       fseed_ = fault_detail::run_seed(options_.fault.seed, 0);
-      slot_offset_.resize(static_cast<std::size_t>(g.node_count()) + 1, 0);
-      for (NodeId v = 0; v < g.node_count(); ++v) {
-        slot_offset_[static_cast<std::size_t>(v) + 1] =
-            slot_offset_[static_cast<std::size_t>(v)] +
-            static_cast<std::uint64_t>(g.degree(v));
-      }
+      build_slot_offsets();
     }
     DMATCH_OBS(if (options_.observer != nullptr) {
-      // Single-threaded executor: one shard handle does all the writing.
-      (void)options_.observer->begin_run(1, g);
-      sobs_ = options_.observer->shard(0);
-      clock_base_ = options_.observer->clock();
-      if (slot_offset_.empty()) {
-        slot_offset_.resize(static_cast<std::size_t>(g.node_count()) + 1, 0);
-        for (NodeId v = 0; v < g.node_count(); ++v) {
-          slot_offset_[static_cast<std::size_t>(v) + 1] =
-              slot_offset_[static_cast<std::size_t>(v)] +
-              static_cast<std::uint64_t>(g.degree(v));
-        }
+      (void)options_.observer->begin_run(num_shards_, g);
+      for (unsigned s = 0; s < num_shards_; ++s) {
+        shards_[s].sobs = options_.observer->shard(s);
       }
+      clock_base_ = options_.observer->clock();
+      if (slot_offset_.empty()) build_slot_offsets();
     })
   }
 
   AsyncStats run(std::vector<char>* dead_out) {
-    for (NodeId v = 0; v < g_.node_count(); ++v) execute_round(v, 0);
-    // Isolated nodes receive no events, so no dispatch ever advances
-    // them: spin them forward now (they halt on their own or burn the
-    // round budget, exactly like their engine execution).
-    for (NodeId v = 0; v < g_.node_count(); ++v) {
-      if (g_.degree(v) == 0) try_advance(0.0, v);
-    }
-    while (!queue_.empty()) {
+    // Round 0 and isolated-node spin-up, shard-parallel: each node's
+    // bootstrap touches only its own state and the outgoing lanes.
+    for_each_shard([this](unsigned s) { bootstrap(s); });
+    rethrow_shard_errors();
+    for_each_shard([this](unsigned s) { merge_wave(s); });
+    collect_inflight();
+
+    // Conservative wave loop: all events with time in [T_min, T_min +
+    // min_delay) were queued before the wave opened (anything a wave
+    // event spawns lands >= min_delay later), and concurrent events
+    // address distinct nodes (one shard each), so processing a wave
+    // shard-parallel is order-equivalent to the sequential pop loop.
+    for (;;) {
+      double t_min = std::numeric_limits<double>::infinity();
+      for (const AsyncShard& sh : shards_) {
+        if (!sh.queue.empty()) t_min = std::min(t_min, sh.queue.top().time);
+      }
+      if (t_min == std::numeric_limits<double>::infinity()) break;
       if (quiescent()) break;
-      Event ev = queue_.top();
-      queue_.pop();
-      ++stats_.events;
-      stats_.completion_time = ev.time;
-      dispatch(std::move(ev));
+      const double t_end = t_min + options_.min_delay;
+      for_each_shard([this, t_end](unsigned s) { process_wave(s, t_end); });
+      rethrow_shard_errors();
+      for_each_shard([this](unsigned s) { merge_wave(s); });
+      collect_inflight();
     }
+
+    merge_stats();
     // Completion means genuine protocol quiescence (all node programs
-    // halted, nothing undelivered) -- a drained event queue alone can also
+    // halted, nothing undelivered) -- drained event queues alone can also
     // mean the round budget cut the synchronizer off mid-protocol.
     stats_.completed = quiescent();
     if (fault_) {
@@ -175,11 +240,109 @@ class AlphaSynchronizerRun {
     } else if (dead_out != nullptr) {
       dead_out->assign(static_cast<std::size_t>(g_.node_count()), 0);
     }
-    DMATCH_OBS(if (sobs_ != nullptr) finish_obs();)
+    DMATCH_OBS(if (options_.observer != nullptr) finish_obs();)
     return stats_;
   }
 
  private:
+  // --- shard geometry -------------------------------------------------
+
+  [[nodiscard]] unsigned shard_of(NodeId v) const {
+    return static_cast<unsigned>(static_cast<std::size_t>(v) / shard_len_);
+  }
+  [[nodiscard]] NodeId shard_begin(unsigned s) const {
+    return static_cast<NodeId>(
+        std::min(static_cast<std::size_t>(s) * shard_len_,
+                 static_cast<std::size_t>(g_.node_count())));
+  }
+  [[nodiscard]] NodeId shard_end(unsigned s) const {
+    return static_cast<NodeId>(
+        std::min(static_cast<std::size_t>(s + 1) * shard_len_,
+                 static_cast<std::size_t>(g_.node_count())));
+  }
+  [[nodiscard]] std::vector<Event>& lane(unsigned src, unsigned dst) {
+    return lanes_[static_cast<std::size_t>(src) * num_shards_ + dst];
+  }
+
+  void for_each_shard(const std::function<void(unsigned)>& task) {
+    if (pool_ != nullptr) {
+      pool_->run(task);
+    } else {
+      task(0);
+    }
+  }
+
+  void rethrow_shard_errors() {
+    // Lowest shard first: deterministic pick when several shards threw.
+    for (AsyncShard& sh : shards_) {
+      if (sh.error) std::rethrow_exception(sh.error);
+    }
+  }
+
+  void collect_inflight() {
+    for (AsyncShard& sh : shards_) {
+      data_in_flight_ += sh.inflight_delta;
+      sh.inflight_delta = 0;
+    }
+    DMATCH_ASSERT(data_in_flight_ >= 0);
+  }
+
+  void build_slot_offsets() {
+    slot_offset_.resize(static_cast<std::size_t>(g_.node_count()) + 1, 0);
+    for (NodeId v = 0; v < g_.node_count(); ++v) {
+      slot_offset_[static_cast<std::size_t>(v) + 1] =
+          slot_offset_[static_cast<std::size_t>(v)] +
+          static_cast<std::uint64_t>(g_.degree(v));
+    }
+  }
+
+  // --- wave phases (worker-side) --------------------------------------
+
+  void bootstrap(unsigned s) {
+    try {
+      for (NodeId v = shard_begin(s); v < shard_end(s); ++v) {
+        execute_round(s, v, 0, 0.0);
+      }
+      // Isolated nodes receive no events, so no dispatch ever advances
+      // them: spin them forward now (they halt on their own or burn the
+      // round budget, exactly like their engine execution).
+      for (NodeId v = shard_begin(s); v < shard_end(s); ++v) {
+        if (g_.degree(v) == 0) try_advance(s, 0.0, v);
+      }
+    } catch (...) {
+      shards_[s].error = std::current_exception();
+      failed_.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  void process_wave(unsigned s, double t_end) {
+    AsyncShard& shard = shards_[s];
+    try {
+      while (!shard.queue.empty() && shard.queue.top().time < t_end) {
+        if (failed_.load(std::memory_order_relaxed)) return;
+        Event ev = shard.queue.top();
+        shard.queue.pop();
+        ++shard.stats.events;
+        shard.max_time = std::max(shard.max_time, ev.time);
+        dispatch(s, std::move(ev));
+      }
+    } catch (...) {
+      shard.error = std::current_exception();
+      failed_.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  void merge_wave(unsigned t) {
+    AsyncShard& shard = shards_[t];
+    for (unsigned s = 0; s < num_shards_; ++s) {
+      std::vector<Event>& box = lane(s, t);
+      for (Event& ev : box) shard.queue.push(std::move(ev));
+      box.clear();
+    }
+  }
+
+  // --- quiescence / teardown (driver-side, workers parked) ------------
+
   [[nodiscard]] bool settled_dead(NodeId v) const {
     if (!fault_) return false;
     const auto vi = static_cast<std::size_t>(v);
@@ -205,6 +368,34 @@ class AlphaSynchronizerRun {
       }
     }
     return true;
+  }
+
+  void merge_stats() {
+    for (AsyncShard& sh : shards_) {
+      stats_.events += sh.stats.events;
+      stats_.payload_messages += sh.stats.payload_messages;
+      stats_.control_messages += sh.stats.control_messages;
+      stats_.virtual_rounds =
+          std::max(stats_.virtual_rounds, sh.stats.virtual_rounds);
+      stats_.completion_time = std::max(stats_.completion_time, sh.max_time);
+      stats_.dropped_messages += sh.stats.dropped_messages;
+      stats_.duplicated_messages += sh.stats.duplicated_messages;
+      stats_.delayed_messages += sh.stats.delayed_messages;
+      stats_.reordered_inboxes += sh.stats.reordered_inboxes;
+      stats_.restarted_nodes += sh.stats.restarted_nodes;
+      if (sh.stats.round_payloads.size() > stats_.round_payloads.size()) {
+        stats_.round_payloads.resize(sh.stats.round_payloads.size(), 0);
+      }
+      for (std::size_t r = 0; r < sh.stats.round_payloads.size(); ++r) {
+        stats_.round_payloads[r] += sh.stats.round_payloads[r];
+      }
+      DMATCH_OBS(
+          if (sh.round_bits.size() > obs_round_bits_.size()) {
+            obs_round_bits_.resize(sh.round_bits.size(), 0);
+          } for (std::size_t r = 0; r < sh.round_bits.size(); ++r) {
+            obs_round_bits_[r] += sh.round_bits[r];
+          })
+    }
   }
 
   void finish_faults(std::vector<char>* dead_out) {
@@ -242,34 +433,49 @@ class AlphaSynchronizerRun {
     }
   }
 
-  double delay() {
+  // --- event plumbing (worker-side, shard-local) ----------------------
+
+  /// Delivery delay as a pure hash of the canonical event identity: the
+  /// same event gets the same delay no matter which shard sends it or
+  /// when — the keystone of cross-thread-count determinism. Uniform in
+  /// [min_delay, max_delay) like the old shared-stream draw.
+  [[nodiscard]] double delay_for(NodeId dst, int dst_port, EventKind kind,
+                                 int round, bool synth) const {
+    const auto a = static_cast<std::uint64_t>(dst);
+    const std::uint64_t b =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst_port))
+         << 3) |
+        (static_cast<std::uint64_t>(kind) << 1) |
+        static_cast<std::uint64_t>(synth);
+    const std::uint64_t h =
+        fault_detail::mix(dseed_, a, b, static_cast<std::uint64_t>(round));
     return options_.min_delay +
-           (options_.max_delay - options_.min_delay) * delay_rng_.uniform01();
+           (options_.max_delay - options_.min_delay) * fault_detail::to_unit(h);
   }
 
-  void enqueue(double now, Event ev) {
-    ev.time = now + delay();
-    ev.seq = ++seq_;
-    queue_.push(std::move(ev));
+  void enqueue(unsigned s, double now, Event ev) {
+    ev.time = now + delay_for(ev.dst, ev.dst_port, ev.kind, ev.round, ev.synth);
+    lane(s, shard_of(ev.dst)).push_back(std::move(ev));
   }
 
-  void enqueue_control(double now, NodeId dst, int dst_port, EventKind kind,
-                       int round) {
+  void enqueue_control(unsigned s, double now, NodeId dst, int dst_port,
+                       EventKind kind, int round) {
     Event ev;
     ev.dst = dst;
     ev.dst_port = dst_port;
     ev.kind = kind;
     ev.round = round;
-    enqueue(now, std::move(ev));
+    enqueue(s, now, std::move(ev));
   }
 
-  void dispatch(Event ev) {
+  void dispatch(unsigned s, Event ev) {
+    AsyncShard& shard = shards_[s];
     auto& node = nodes_[static_cast<std::size_t>(ev.dst)];
     switch (ev.kind) {
       case EventKind::kData: {
-        --data_in_flight_;
+        --shard.inflight_delta;
         if (!ev.synth) {
-          ++stats_.payload_messages;
+          ++shard.stats.payload_messages;
           // Acknowledge to the sender. The control plane is reliable
           // (Awerbuch's model): even a dropped payload is acked, else
           // the sender would never announce SAFE and the synchronizer
@@ -277,9 +483,9 @@ class AlphaSynchronizerRun {
           const EdgeId e = g_.incident_edges(
               ev.dst)[static_cast<std::size_t>(ev.dst_port)];
           const NodeId sender = g_.other_endpoint(e, ev.dst);
-          enqueue_control(ev.time, sender, g_.port_of_edge(sender, e),
+          enqueue_control(s, ev.time, sender, g_.port_of_edge(sender, e),
                           EventKind::kAck, ev.round);
-          ++stats_.control_messages;
+          ++shard.stats.control_messages;
         }
         if (!ev.dropped) {
           if (ev.file_round > ev.round + 1) {
@@ -295,34 +501,35 @@ class AlphaSynchronizerRun {
       case EventKind::kAck: {
         if (ev.round == node.executed_round) {
           DMATCH_ASSERT(node.pending_acks > 0);
-          if (--node.pending_acks == 0) announce_safe(ev.time, ev.dst);
+          if (--node.pending_acks == 0) announce_safe(s, ev.time, ev.dst);
         }
-        try_advance(ev.time, ev.dst);
+        try_advance(s, ev.time, ev.dst);
         break;
       }
       case EventKind::kSafe: {
         ++node.safe_count[ev.round];
-        try_advance(ev.time, ev.dst);
+        try_advance(s, ev.time, ev.dst);
         break;
       }
     }
-    if (ev.kind == EventKind::kData) try_advance(ev.time, ev.dst);
+    if (ev.kind == EventKind::kData) try_advance(s, ev.time, ev.dst);
   }
 
-  void announce_safe(double now, NodeId v) {
+  void announce_safe(unsigned s, double now, NodeId v) {
+    AsyncShard& shard = shards_[s];
     auto& node = nodes_[static_cast<std::size_t>(v)];
     if (node.announced_safe) return;
     node.announced_safe = true;
     for (int p = 0; p < g_.degree(v); ++p) {
       const NodeId u = g_.neighbor(v, p);
       const EdgeId e = g_.incident_edges(v)[static_cast<std::size_t>(p)];
-      enqueue_control(now, u, g_.port_of_edge(u, e), EventKind::kSafe,
+      enqueue_control(s, now, u, g_.port_of_edge(u, e), EventKind::kSafe,
                       node.executed_round);
-      ++stats_.control_messages;
+      ++shard.stats.control_messages;
     }
   }
 
-  void try_advance(double now, NodeId v) {
+  void try_advance(unsigned s, double now, NodeId v) {
     auto& node = nodes_[static_cast<std::size_t>(v)];
     const auto vi = static_cast<std::size_t>(v);
     for (;;) {
@@ -339,26 +546,27 @@ class AlphaSynchronizerRun {
           return;
         }
       }
-      execute_round(v, r + 1);
-      (void)now;
+      execute_round(s, v, r + 1, now);
     }
   }
 
-  void execute_round(NodeId v, int round) {
+  void execute_round(unsigned s, NodeId v, int round, double now) {
+    AsyncShard& shard = shards_[s];
     auto& node = nodes_[static_cast<std::size_t>(v)];
     const auto vi = static_cast<std::size_t>(v);
     DMATCH_ASSERT(round == node.executed_round + 1);
     node.executed_round = round;
     node.safe_count.erase(round - 2);  // stale bookkeeping
-    stats_.virtual_rounds = std::max(
-        stats_.virtual_rounds, static_cast<std::uint64_t>(round));
-    if (static_cast<std::size_t>(round) >= stats_.round_payloads.size()) {
+    shard.stats.virtual_rounds = std::max(
+        shard.stats.virtual_rounds, static_cast<std::uint64_t>(round));
+    if (static_cast<std::size_t>(round) >= shard.stats.round_payloads.size()) {
       // Grown before the degenerate-crash return below so dead nodes'
       // silent rounds still appear (as zeros) in the per-round curve.
-      stats_.round_payloads.resize(static_cast<std::size_t>(round) + 1, 0);
-      DMATCH_OBS(obs_round_bits_.resize(stats_.round_payloads.size(), 0);)
+      shard.stats.round_payloads.resize(static_cast<std::size_t>(round) + 1,
+                                        0);
+      DMATCH_OBS(shard.round_bits.resize(shard.stats.round_payloads.size(),
+                                         0);)
     }
-    const double now = stats_.completion_time;
 
     if (fault_ &&
         sched_.dead_at(v, static_cast<std::uint64_t>(round))) {
@@ -366,16 +574,16 @@ class AlphaSynchronizerRun {
       // are lost (the engine drops them at consumption), but it keeps
       // the synchronizer sound — no data, so SAFE goes out immediately.
       if (const auto it = node.inbox.find(round); it != node.inbox.end()) {
-        stats_.dropped_messages += it->second.size();
+        shard.stats.dropped_messages += it->second.size();
         node.inbox.erase(it);
       }
       if (const auto it = node.extras.find(round); it != node.extras.end()) {
-        stats_.dropped_messages += it->second.size();
+        shard.stats.dropped_messages += it->second.size();
         node.extras.erase(it);
       }
       node.pending_acks = 0;
       node.announced_safe = false;
-      announce_safe(now, v);
+      announce_safe(s, now, v);
       return;
     }
     if (fault_ && !node.respawned &&
@@ -386,7 +594,7 @@ class AlphaSynchronizerRun {
       node.proc = factory_(v, g_);
       DMATCH_ENSURES(node.proc != nullptr);
       mate_ports_[vi] = -1;
-      ++stats_.restarted_nodes;
+      ++shard.stats.restarted_nodes;
     }
 
     std::vector<Envelope> inbox;
@@ -423,11 +631,11 @@ class AlphaSynchronizerRun {
                 static_cast<std::size_t>(splitmix64(state) % (i + 1));
             std::swap(inbox[i], inbox[j]);
           }
-          ++stats_.reordered_inboxes;
-          DMATCH_OBS(if (sobs_ != nullptr) {
-            sobs_->trace_at(clock_base_ + static_cast<std::uint64_t>(round),
-                            obs::EventType::kFaultReorder,
-                            static_cast<std::uint32_t>(v));
+          ++shard.stats.reordered_inboxes;
+          DMATCH_OBS(if (shard.sobs != nullptr) {
+            shard.sobs->trace_at(
+                clock_base_ + static_cast<std::uint64_t>(round),
+                obs::EventType::kFaultReorder, static_cast<std::uint32_t>(v));
           })
         }
       }
@@ -438,25 +646,39 @@ class AlphaSynchronizerRun {
     // (they still synchronize, sending SAFE with no data).
     if (!node.proc->halted() || !inbox.empty()) {
       AsyncContext ctx(g_, v, round, node.rng, mate_ports_[vi], outbox);
+      DMATCH_OBS(if (shard.sobs != nullptr) {
+        shard.sobs->now = clock_base_ + static_cast<std::uint64_t>(round);
+        ctx.attach_obs(shard.sobs);
+      })
       node.proc->on_round(ctx, inbox);
+    }
+
+    // CONGEST contract, enforced like the engine's port-slot mailboxes:
+    // at most one message per port per round. Without it the canonical
+    // event key would not be unique and pop order would be ambiguous.
+    ++shard.stamp_token;
+    for (const auto& [port, msg] : outbox) {
+      auto& stamp = shard.port_stamp[static_cast<std::size_t>(port)];
+      DMATCH_EXPECTS(stamp != shard.stamp_token);
+      stamp = shard.stamp_token;
     }
 
     node.pending_acks = static_cast<int>(outbox.size());
     node.announced_safe = false;
-    stats_.round_payloads[static_cast<std::size_t>(round)] +=
+    shard.stats.round_payloads[static_cast<std::size_t>(round)] +=
         static_cast<std::uint64_t>(outbox.size());
     for (auto& [port, msg] : outbox) {
       const EdgeId e = g_.incident_edges(v)[static_cast<std::size_t>(port)];
       const NodeId u = g_.other_endpoint(e, v);
       const int uport = g_.port_of_edge(u, e);
-      DMATCH_OBS(if (sobs_ != nullptr) {
+      DMATCH_OBS(if (shard.sobs != nullptr) {
         // Same sender-side slot the engine's NodeContext profiles.
-        sobs_->link_message(
+        shard.sobs->link_message(
             static_cast<std::size_t>(
                 slot_offset_[static_cast<std::size_t>(v)]) +
                 static_cast<std::size_t>(port),
             msg.bits);
-        obs_round_bits_[static_cast<std::size_t>(round)] += msg.bits;
+        shard.round_bits[static_cast<std::size_t>(round)] += msg.bits;
       })
       Event ev;
       ev.dst = u;
@@ -477,11 +699,12 @@ class AlphaSynchronizerRun {
             fault_detail::to_unit(fault_detail::mix(
                 h, fault_detail::kSaltDrop, 0, 0)) < plan.drop_prob) {
           ev.dropped = true;
-          ++stats_.dropped_messages;
-          DMATCH_OBS(if (sobs_ != nullptr) {
-            sobs_->trace_at(clock_base_ + static_cast<std::uint64_t>(round),
-                            obs::EventType::kFaultDrop,
-                            static_cast<std::uint32_t>(u), in_slot);
+          ++shard.stats.dropped_messages;
+          DMATCH_OBS(if (shard.sobs != nullptr) {
+            shard.sobs->trace_at(
+                clock_base_ + static_cast<std::uint64_t>(round),
+                obs::EventType::kFaultDrop, static_cast<std::uint32_t>(u),
+                in_slot);
           })
         } else {
           const int max_d = std::max(1, plan.max_delay);
@@ -499,12 +722,13 @@ class AlphaSynchronizerRun {
                         fault_detail::mix(h, fault_detail::kSaltDupAmount, 0,
                                           0) %
                         static_cast<std::uint64_t>(max_d));
-            ++stats_.duplicated_messages;
-            DMATCH_OBS(if (sobs_ != nullptr) {
-              sobs_->trace_at(clock_base_ + static_cast<std::uint64_t>(round),
-                              obs::EventType::kFaultDuplicate,
-                              static_cast<std::uint32_t>(u), in_slot,
-                              static_cast<std::uint64_t>(d));
+            ++shard.stats.duplicated_messages;
+            DMATCH_OBS(if (shard.sobs != nullptr) {
+              shard.sobs->trace_at(
+                  clock_base_ + static_cast<std::uint64_t>(round),
+                  obs::EventType::kFaultDuplicate,
+                  static_cast<std::uint32_t>(u), in_slot,
+                  static_cast<std::uint64_t>(d));
             })
             Event copy;
             copy.dst = u;
@@ -514,8 +738,8 @@ class AlphaSynchronizerRun {
             copy.file_round = round + 1 + d;
             copy.synth = true;
             copy.payload = msg;
-            enqueue(now, std::move(copy));
-            ++data_in_flight_;
+            enqueue(s, now, std::move(copy));
+            ++shard.inflight_delta;
           }
           if (late) {
             const int d =
@@ -523,40 +747,45 @@ class AlphaSynchronizerRun {
                         fault_detail::mix(h, fault_detail::kSaltDelayAmount,
                                           0, 0) %
                         static_cast<std::uint64_t>(max_d));
-            ++stats_.delayed_messages;
-            DMATCH_OBS(if (sobs_ != nullptr) {
-              sobs_->trace_at(clock_base_ + static_cast<std::uint64_t>(round),
-                              obs::EventType::kFaultDelay,
-                              static_cast<std::uint32_t>(u), in_slot,
-                              static_cast<std::uint64_t>(d));
+            ++shard.stats.delayed_messages;
+            DMATCH_OBS(if (shard.sobs != nullptr) {
+              shard.sobs->trace_at(
+                  clock_base_ + static_cast<std::uint64_t>(round),
+                  obs::EventType::kFaultDelay, static_cast<std::uint32_t>(u),
+                  in_slot, static_cast<std::uint64_t>(d));
             })
             ev.file_round = round + 1 + d;
           }
         }
       }
       ev.payload = std::move(msg);
-      enqueue(now, std::move(ev));
-      ++data_in_flight_;
+      enqueue(s, now, std::move(ev));
+      ++shard.inflight_delta;
     }
-    if (node.pending_acks == 0) announce_safe(now, v);
+    if (node.pending_acks == 0) announce_safe(s, now, v);
   }
 
 #ifndef DMATCH_OBS_DISABLED
-  // Emitted once at the end of the run. The executor is single-threaded
-  // and event-driven, so per-round records are reconstructed on the
+  // Emitted once at the end of the run on the driver thread (shard 0
+  // handle, workers parked). Per-round records are reconstructed on the
   // virtual-round clock instead of streamed (virtual rounds interleave
-  // across nodes). Timestamps are clock_base_ + round — the mapping the
-  // engine uses — so sync and async runs share one trace timeline.
+  // across nodes and shards). Timestamps are clock_base_ + round — the
+  // mapping the engine uses — so sync and async runs share one trace
+  // timeline, and the reconstruction consumes only merged, shard-layout-
+  // independent inputs, keeping the output byte-identical across
+  // num_threads.
   void finish_obs() {
     obs::Observer& ob = *options_.observer;
-    const auto& ids = sobs_->ids();
+    obs::ShardObs* sobs = shards_[0].sobs;
+    const auto& ids = sobs->ids();
     const std::size_t rounds = stats_.round_payloads.size();
+    obs_round_bits_.resize(rounds, 0);
     for (std::size_t r = 0; r < rounds; ++r) {
       const std::uint64_t t = clock_base_ + r;
-      sobs_->trace_at(t, obs::EventType::kRoundEnd, 0,
-                      stats_.round_payloads[r], obs_round_bits_[r]);
-      sobs_->observe(ids.engine_round_messages_hist, stats_.round_payloads[r]);
-      sobs_->bits_hist_totals(stats_.round_payloads[r], obs_round_bits_[r]);
+      sobs->trace_at(t, obs::EventType::kRoundEnd, 0,
+                     stats_.round_payloads[r], obs_round_bits_[r]);
+      sobs->observe(ids.engine_round_messages_hist, stats_.round_payloads[r]);
+      sobs->bits_hist_totals(stats_.round_payloads[r], obs_round_bits_[r]);
       ob.profiler().round_end(stats_.round_payloads[r], obs_round_bits_[r]);
     }
     if (fault_) {
@@ -564,26 +793,27 @@ class AlphaSynchronizerRun {
       for (NodeId v = 0; v < g_.node_count(); ++v) {
         const auto vi = static_cast<std::size_t>(v);
         if (sched_.crash_at[vi] < end_round) {
-          sobs_->trace_at(clock_base_ + sched_.crash_at[vi],
-                          obs::EventType::kCrash, static_cast<std::uint32_t>(v));
+          sobs->trace_at(clock_base_ + sched_.crash_at[vi],
+                         obs::EventType::kCrash,
+                         static_cast<std::uint32_t>(v));
         }
         if (sched_.restart_at[vi] <= end_round) {
-          sobs_->trace_at(clock_base_ + sched_.restart_at[vi],
-                          obs::EventType::kRestart,
-                          static_cast<std::uint32_t>(v));
+          sobs->trace_at(clock_base_ + sched_.restart_at[vi],
+                         obs::EventType::kRestart,
+                         static_cast<std::uint32_t>(v));
         }
       }
-      sobs_->count(ids.fault_dropped, stats_.dropped_messages);
-      sobs_->count(ids.fault_duplicated, stats_.duplicated_messages);
-      sobs_->count(ids.fault_delayed, stats_.delayed_messages);
-      sobs_->count(ids.fault_reordered, stats_.reordered_inboxes);
-      sobs_->count(ids.fault_crashed, stats_.crashed_nodes);
-      sobs_->count(ids.fault_restarted, stats_.restarted_nodes);
+      sobs->count(ids.fault_dropped, stats_.dropped_messages);
+      sobs->count(ids.fault_duplicated, stats_.duplicated_messages);
+      sobs->count(ids.fault_delayed, stats_.delayed_messages);
+      sobs->count(ids.fault_reordered, stats_.reordered_inboxes);
+      sobs->count(ids.fault_crashed, stats_.crashed_nodes);
+      sobs->count(ids.fault_restarted, stats_.restarted_nodes);
     }
-    sobs_->count(ids.async_events, stats_.events);
-    sobs_->count(ids.async_payload_messages, stats_.payload_messages);
-    sobs_->count(ids.async_control_messages, stats_.control_messages);
-    sobs_->count(ids.async_virtual_rounds, stats_.virtual_rounds);
+    sobs->count(ids.async_events, stats_.events);
+    sobs->count(ids.async_payload_messages, stats_.payload_messages);
+    sobs->count(ids.async_control_messages, stats_.control_messages);
+    sobs->count(ids.async_virtual_rounds, stats_.virtual_rounds);
     ob.advance_clock(rounds);
   }
 #endif
@@ -594,20 +824,24 @@ class AlphaSynchronizerRun {
   const int max_rounds_;
   const AsyncOptions options_;
   const bool fault_;
-  Rng delay_rng_;
+  const std::uint64_t dseed_;  // delay-hash seed (derived from run seed)
+
+  unsigned num_shards_ = 1;
+  std::size_t shard_len_ = 1;
+  std::unique_ptr<support::ThreadPool> pool_;
+  std::vector<AsyncShard> shards_;
+  std::vector<std::vector<Event>> lanes_;  // (src shard, dst shard) boxes
+  std::atomic<bool> failed_{false};
 
   fault_detail::CrashSchedule sched_;
   std::uint64_t fseed_ = 0;
   std::vector<std::uint64_t> slot_offset_;
 
   std::vector<NodeState> nodes_;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
-  std::uint64_t seq_ = 0;
-  std::uint64_t data_in_flight_ = 0;
+  std::int64_t data_in_flight_ = 0;
   AsyncStats stats_;
 
 #ifndef DMATCH_OBS_DISABLED
-  obs::ShardObs* sobs_ = nullptr;
   std::uint64_t clock_base_ = 0;
   std::vector<std::uint64_t> obs_round_bits_;  // parallels round_payloads
 #endif

@@ -17,6 +17,20 @@
 // run_synchronized() returns the same per-node results as the synchronous
 // Network for the same node RNG streams -- asserted by the test suite.
 //
+// Execution model (see docs/PROTOCOLS.md, "Sharded async executor"):
+// nodes are partitioned into contiguous shards, one per worker of a
+// support/thread_pool, and each shard owns a local event queue ordered
+// by the canonical event key (timestamp, destination, kind, port,
+// round, synthetic-copy flag). Per-event delivery delays are pure
+// hashes of that key, never draws from a shared stream, and the
+// executor advances in conservative time windows of width `min_delay`:
+// every event inside a window was already queued when the window
+// opened (anything an in-window event spawns lands at least min_delay
+// later), and in-window events addressed to different nodes touch
+// disjoint state, so the shard-parallel execution is *bit-identical*
+// to the sequential one for any AsyncOptions::num_threads — matchings,
+// AsyncStats, fault counters, and observability output all agree.
+//
 // Fault awareness: AsyncOptions carries the same FaultPlan the round
 // engine takes, and the executor injects the same seed-hashed fault
 // history — every drop/duplicate/delay/reorder decision is the identical
@@ -49,9 +63,15 @@
 namespace dmatch::congest {
 
 struct AsyncOptions {
-  /// Per-message delivery delay bounds (uniform, seeded).
+  /// Per-message delivery delay bounds (uniform, seeded). min_delay is
+  /// also the executor's conservative parallel window width: smaller
+  /// values mean more synchronization barriers per simulated second.
   double min_delay = 0.1;
   double max_delay = 3.0;
+  /// Worker count of the sharded event loop. 0 = hardware concurrency;
+  /// 1 = fully sequential (no OS threads are created). Any value
+  /// produces bit-identical runs.
+  unsigned num_threads = 1;
   /// Fault plan with the round engine's semantics. Inactive by default.
   FaultPlan fault;
   /// Observability sink (not owned; must outlive the run). Virtual

@@ -155,12 +155,17 @@ Network::Network(const Graph& g, Model model, std::uint64_t seed,
   num_threads_ = options_.num_threads != 0
                      ? options_.num_threads
                      : std::max(1u, std::thread::hardware_concurrency());
-
-  Rng root(seed);
-  node_rng_.reserve(n);
-  for (NodeId v = 0; v < g.node_count(); ++v) {
-    node_rng_.push_back(root.fork(static_cast<std::uint64_t>(v)));
+  if (num_threads_ > 1) {
+    pool_ = std::make_unique<support::ThreadPool>(num_threads_);
   }
+
+  // Slot-offset prefix sums stay sequential (a scan), but the per-node
+  // RNG forks and the cross-endpoint peer tables are embarrassingly
+  // parallel: each worker fills its contiguous node chunk, and every
+  // entry is a pure function of (seed, graph), so the tables are
+  // identical for any worker count.
+  const Rng root(seed);
+  node_rng_.assign(n, Rng(0));
   mate_port_.assign(n, -1);
 
   // Cross-endpoint port tables: one lookup per message on the hot path
@@ -174,17 +179,28 @@ Network::Network(const Graph& g, Model model, std::uint64_t seed,
   const std::size_t slots = slot_offset_[n];
   peer_slot_.resize(slots);
   peer_node_.resize(slots);
-  for (NodeId v = 0; v < g.node_count(); ++v) {
-    const auto edges = g.incident_edges(v);
-    for (std::size_t p = 0; p < edges.size(); ++p) {
-      const EdgeId e = edges[p];
-      const NodeId u = g.other_endpoint(e, v);
-      const std::size_t i = slot_offset_[static_cast<std::size_t>(v)] + p;
-      peer_node_[i] = u;
-      peer_slot_[i] = static_cast<std::uint32_t>(
-          slot_offset_[static_cast<std::size_t>(u)] +
-          static_cast<std::size_t>(g.port_of_edge(u, e)));
+  const auto build_chunk = [this, &g, &root](unsigned w) {
+    const auto [vb, ve] = support::ThreadPool::chunk(
+        static_cast<std::size_t>(g.node_count()), num_threads_, w);
+    for (std::size_t vi = vb; vi < ve; ++vi) {
+      const auto v = static_cast<NodeId>(vi);
+      node_rng_[vi] = root.fork(static_cast<std::uint64_t>(v));
+      const auto edges = g.incident_edges(v);
+      for (std::size_t p = 0; p < edges.size(); ++p) {
+        const EdgeId e = edges[p];
+        const NodeId u = g.other_endpoint(e, v);
+        const std::size_t i = slot_offset_[vi] + p;
+        peer_node_[i] = u;
+        peer_slot_[i] = static_cast<std::uint32_t>(
+            slot_offset_[static_cast<std::size_t>(u)] +
+            static_cast<std::size_t>(g.port_of_edge(u, e)));
+      }
     }
+  };
+  if (pool_ != nullptr) {
+    pool_->run(build_chunk);
+  } else {
+    build_chunk(0);
   }
 
   cur_msg_.resize(slots);
@@ -311,7 +327,7 @@ RunStats Network::run(const ProcessFactory& factory, int max_rounds) {
   }
   std::uint64_t obs_bits_before = 0;
   std::vector<std::vector<std::uint64_t>> obs_slab_snap;
-  std::vector<std::size_t> obs_trace_marks(num_shards, 0);
+  std::vector<obs::TraceSink::Mark> obs_trace_marks(num_shards);
   obs::CongestionProfiler::LinkSnapshot obs_link_snap;
 #endif
 
@@ -611,7 +627,7 @@ RunStats Network::run(const ProcessFactory& factory, int max_rounds) {
         // back to a state with no trace of the round at all.
         obs_slab_snap = observer->metrics().snapshot();
         for (unsigned s = 0; s < num_shards; ++s) {
-          obs_trace_marks[s] = observer->trace_sink().buffer(s).size();
+          obs_trace_marks[s] = observer->trace_sink().mark(s);
         }
         if (profiled) obs_link_snap = observer->profiler().snapshot_links();
       }
@@ -627,7 +643,7 @@ RunStats Network::run(const ProcessFactory& factory, int max_rounds) {
       if (observer != nullptr && faults) {
         observer->metrics().restore(obs_slab_snap);
         for (unsigned s = 0; s < num_shards; ++s) {
-          observer->trace_sink().buffer(s).resize(obs_trace_marks[s]);
+          observer->trace_sink().rewind(s, std::move(obs_trace_marks[s]));
         }
         if (profiled) observer->profiler().restore_links(obs_link_snap);
       }
@@ -747,17 +763,47 @@ RunStats Network::run(const ProcessFactory& factory, int max_rounds) {
 Matching Network::extract_matching() const {
   const Graph& g = *g_;
   Matching m(g.node_count());
-  for (NodeId v = 0; v < g.node_count(); ++v) {
-    const int port = mate_port_[static_cast<std::size_t>(v)];
-    if (port < 0) continue;
-    DMATCH_EXPECTS(port < g.degree(v));
-    const EdgeId e = g.incident_edges(v)[static_cast<std::size_t>(port)];
-    const NodeId u = g.other_endpoint(e, v);
-    // Register consistency: u must point back along the same edge.
-    const int uport = mate_port_[static_cast<std::size_t>(u)];
-    DMATCH_EXPECTS(uport >= 0);
-    DMATCH_EXPECTS(g.incident_edges(u)[static_cast<std::size_t>(uport)] == e);
-    if (v < u) m.add(g, e);
+  // Parallel scan, deterministic reduction: each worker checks and
+  // collects the matched edges (as seen from their lower endpoint) of
+  // its contiguous node chunk; the driver then applies the per-chunk
+  // lists in chunk order, which is exactly the sequential v-ascending
+  // order. Contract trips are captured per worker and rethrown lowest
+  // chunk first, so the thrown violation is thread-count-independent.
+  const unsigned workers = pool_ != nullptr ? pool_->size() : 1;
+  std::vector<std::vector<EdgeId>> found(workers);
+  std::vector<std::exception_ptr> errors(workers);
+  const auto scan = [&, this](unsigned w) {
+    try {
+      const auto [vb, ve] = support::ThreadPool::chunk(
+          static_cast<std::size_t>(g.node_count()), workers, w);
+      for (std::size_t vi = vb; vi < ve; ++vi) {
+        const auto v = static_cast<NodeId>(vi);
+        const int port = mate_port_[vi];
+        if (port < 0) continue;
+        DMATCH_EXPECTS(port < g.degree(v));
+        const EdgeId e = g.incident_edges(v)[static_cast<std::size_t>(port)];
+        const NodeId u = g.other_endpoint(e, v);
+        // Register consistency: u must point back along the same edge.
+        const int uport = mate_port_[static_cast<std::size_t>(u)];
+        DMATCH_EXPECTS(uport >= 0);
+        DMATCH_EXPECTS(
+            g.incident_edges(u)[static_cast<std::size_t>(uport)] == e);
+        if (v < u) found[w].push_back(e);
+      }
+    } catch (...) {
+      errors[w] = std::current_exception();
+    }
+  };
+  if (pool_ != nullptr) {
+    pool_->run(scan);
+  } else {
+    scan(0);
+  }
+  for (unsigned w = 0; w < workers; ++w) {
+    if (errors[w]) std::rethrow_exception(errors[w]);
+  }
+  for (unsigned w = 0; w < workers; ++w) {
+    for (const EdgeId e : found[w]) m.add(g, e);
   }
   DMATCH_ENSURES(m.is_valid(g));
   return m;
@@ -768,33 +814,56 @@ Matching Network::extract_matching_resilient(DegradationReport* report) const {
   Matching m(g.node_count());
   DegradationReport scratch;
   DegradationReport& rep = report != nullptr ? *report : scratch;
+  // Same parallel scan + chunk-ordered reduction as extract_matching;
+  // never throws. The heal tallies are sums, so adding the per-worker
+  // partials in any fixed order reproduces the sequential counts.
+  const unsigned workers = pool_ != nullptr ? pool_->size() : 1;
+  std::vector<std::vector<EdgeId>> found(workers);
+  std::vector<std::uint64_t> dead_part(workers, 0);
+  std::vector<std::uint64_t> dead_healed_part(workers, 0);
+  std::vector<std::uint64_t> torn_healed_part(workers, 0);
+  const auto scan = [&, this](unsigned w) {
+    const auto [vb, ve] = support::ThreadPool::chunk(
+        static_cast<std::size_t>(g.node_count()), workers, w);
+    for (std::size_t vi = vb; vi < ve; ++vi) {
+      const auto v = static_cast<NodeId>(vi);
+      if (node_dead(v)) {
+        ++dead_part[w];
+        if (mate_port_[vi] >= 0) ++dead_healed_part[w];
+        continue;
+      }
+      const int port = mate_port_[vi];
+      if (port < 0) continue;
+      const EdgeId e = g.incident_edges(v)[static_cast<std::size_t>(port)];
+      const NodeId u = g.other_endpoint(e, v);
+      if (node_dead(u)) {
+        ++dead_healed_part[w];
+        continue;
+      }
+      const int uport = mate_port_[static_cast<std::size_t>(u)];
+      const bool consistent =
+          uport >= 0 &&
+          g.incident_edges(u)[static_cast<std::size_t>(uport)] == e;
+      if (!consistent) {
+        ++torn_healed_part[w];
+        continue;
+      }
+      if (v < u) found[w].push_back(e);
+    }
+  };
+  if (pool_ != nullptr) {
+    pool_->run(scan);
+  } else {
+    scan(0);
+  }
   // crashed_nodes is a high-water mark (a dead node stays dead), so count
   // this pass locally and max it in; repeated extractions must not inflate.
   std::uint64_t dead_now = 0;
-  for (NodeId v = 0; v < g.node_count(); ++v) {
-    const auto vi = static_cast<std::size_t>(v);
-    if (node_dead(v)) {
-      ++dead_now;
-      if (mate_port_[vi] >= 0) ++rep.dead_registers_healed;
-      continue;
-    }
-    const int port = mate_port_[vi];
-    if (port < 0) continue;
-    const EdgeId e = g.incident_edges(v)[static_cast<std::size_t>(port)];
-    const NodeId u = g.other_endpoint(e, v);
-    if (node_dead(u)) {
-      ++rep.dead_registers_healed;
-      continue;
-    }
-    const int uport = mate_port_[static_cast<std::size_t>(u)];
-    const bool consistent =
-        uport >= 0 &&
-        g.incident_edges(u)[static_cast<std::size_t>(uport)] == e;
-    if (!consistent) {
-      ++rep.torn_registers_healed;
-      continue;
-    }
-    if (v < u) m.add(g, e);
+  for (unsigned w = 0; w < workers; ++w) {
+    dead_now += dead_part[w];
+    rep.dead_registers_healed += dead_healed_part[w];
+    rep.torn_registers_healed += torn_healed_part[w];
+    for (const EdgeId e : found[w]) m.add(g, e);
   }
   rep.crashed_nodes = std::max(rep.crashed_nodes, dead_now);
   DMATCH_ENSURES(m.is_valid(g));

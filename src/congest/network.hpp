@@ -234,7 +234,9 @@ class Network {
   std::uint64_t lifetime_rounds_ = 0;
   std::uint64_t fault_nonce_ = 0;  // decorrelates fault draws across runs
 
-  std::unique_ptr<support::ThreadPool> pool_;  // created on first use
+  // Created in the constructor when num_threads_ > 1 and shared by the
+  // round loop, the parallel table build, and the extraction scans.
+  std::unique_ptr<support::ThreadPool> pool_;
 };
 
 }  // namespace dmatch::congest

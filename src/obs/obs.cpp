@@ -3,6 +3,7 @@
 namespace dmatch::obs {
 
 Observer::Observer(ObsConfig config) : config_(config) {
+  trace_.set_capacity(config_.trace_capacity);
   // Standard metrics are registered unconditionally (registration is
   // cheap and keeps the slot layout identical across configs); whether
   // anything is *recorded* is decided per ShardObs handle.
@@ -42,7 +43,7 @@ void Observer::ensure_handles(unsigned n) {
     h->owner_ = this;
     h->ids_ = &ids_;
     h->shard_ = s;
-    h->events_ = config_.trace ? &trace_.buffer(s) : nullptr;
+    h->events_ = config_.trace ? &trace_.shard_buf(s) : nullptr;
     h->registry_ = config_.metrics ? &metrics_ : nullptr;
     shards_.push_back(std::move(h));
   }

@@ -42,6 +42,11 @@ struct ObsConfig {
   bool trace = true;
   bool profile_links = true;
   std::size_t top_k = 16;  // hot-links report size
+  /// Bounded-memory tracing: keep only the last `trace_capacity` events
+  /// per shard buffer (ring overwrite). 0 = unbounded. Retained events
+  /// are identical across thread counts for the same cap; summaries of
+  /// capped and uncapped traces agree on every retained event.
+  std::size_t trace_capacity = 0;
 };
 
 /// Dense ids of the metrics every run records, registered up front so
@@ -73,7 +78,7 @@ class ShardObs {
   void trace(EventType type, std::uint32_t actor, std::uint64_t a = 0,
              std::uint64_t b = 0) {
     if (events_ != nullptr) {
-      events_->push_back({now, actor, static_cast<std::uint16_t>(type), a, b});
+      events_->push({now, actor, static_cast<std::uint16_t>(type), a, b});
     }
   }
   /// Like trace() but with an explicit timestamp (events reconstructed
@@ -81,7 +86,7 @@ class ShardObs {
   void trace_at(std::uint64_t t, EventType type, std::uint32_t actor,
                 std::uint64_t a = 0, std::uint64_t b = 0) {
     if (events_ != nullptr) {
-      events_->push_back({t, actor, static_cast<std::uint16_t>(type), a, b});
+      events_->push({t, actor, static_cast<std::uint16_t>(type), a, b});
     }
   }
 
@@ -133,7 +138,7 @@ class ShardObs {
   Observer* owner_ = nullptr;
   const StdMetricIds* ids_ = nullptr;
   unsigned shard_ = 0;
-  std::vector<TraceEvent>* events_ = nullptr;  // null if tracing disabled
+  TraceSink::ShardBuf* events_ = nullptr;  // null if tracing disabled
   MetricsRegistry* registry_ = nullptr;        // null if metrics disabled
   std::uint64_t* link_ = nullptr;       // profiler's interleaved link array;
                                         // null unless this run's graph is

@@ -32,7 +32,47 @@ const char* event_type_name(EventType t) noexcept {
 }
 
 void TraceSink::ensure_shards(unsigned n) {
-  while (shards_.size() < n) shards_.push_back(std::make_unique<ShardBuf>());
+  while (shards_.size() < n) {
+    shards_.push_back(std::make_unique<ShardBuf>());
+    shards_.back()->cap = cap_;
+  }
+}
+
+void TraceSink::set_capacity(std::size_t per_shard_cap) {
+  cap_ = per_shard_cap;
+  for (auto& s : shards_) {
+    s->cap = cap_;
+    if (cap_ != 0 && s->events.size() > cap_) {
+      // Keep the most recent cap events. The buffer was unbounded (or
+      // wider) until now, so events are in append order and the tail is
+      // the newest.
+      s->events.erase(s->events.begin(),
+                      s->events.end() - static_cast<std::ptrdiff_t>(cap_));
+      // Future overwrites must start at the oldest retained slot.
+      s->appended = s->events.size();
+    }
+  }
+}
+
+TraceSink::Mark TraceSink::mark(unsigned shard) const {
+  const ShardBuf& s = *shards_[shard];
+  Mark m;
+  m.appended = s.appended;
+  m.size = s.events.size();
+  if (s.cap != 0) m.saved = s.events;
+  return m;
+}
+
+void TraceSink::rewind(unsigned shard, Mark&& m) {
+  ShardBuf& s = *shards_[shard];
+  DMATCH_EXPECTS(m.appended <= s.appended);
+  if (s.cap != 0) {
+    s.events = std::move(m.saved);
+  } else {
+    DMATCH_EXPECTS(m.size <= s.events.size());
+    s.events.resize(m.size);
+  }
+  s.appended = m.appended;
 }
 
 std::uint32_t TraceSink::intern(std::string_view name) {
@@ -46,6 +86,12 @@ std::uint32_t TraceSink::intern(std::string_view name) {
 std::uint64_t TraceSink::event_count() const noexcept {
   std::uint64_t total = 0;
   for (const auto& s : shards_) total += s->events.size();
+  return total;
+}
+
+std::uint64_t TraceSink::appended_count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s->appended;
   return total;
 }
 

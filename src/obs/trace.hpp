@@ -63,14 +63,57 @@ struct TraceEvent {
 
 class TraceSink {
  public:
+  // Cache-line-aligned so two workers appending to neighboring buffers
+  // do not share a line through the vector headers. In bounded mode
+  // (cap > 0) the buffer is a ring over the last `cap` appends: the
+  // vector never exceeds cap entries and the oldest event is
+  // overwritten. The retained set is a pure function of each shard's
+  // single-writer append sequence, so capped traces are deterministic
+  // run-to-run for a fixed thread count; across thread counts the shard
+  // layout (and thus which events survive eviction) differs, unlike the
+  // unbounded mode whose merged() stream is layout-independent.
+  struct alignas(64) ShardBuf {
+    std::vector<TraceEvent> events;
+    std::uint64_t appended = 0;  // lifetime appends, including evicted
+    std::size_t cap = 0;         // 0 = unbounded
+
+    void push(const TraceEvent& e) {
+      const std::uint64_t i = appended++;
+      if (cap == 0 || events.size() < cap) {
+        events.push_back(e);
+      } else {
+        events[static_cast<std::size_t>(i % cap)] = e;
+      }
+    }
+  };
+
   /// Grow to at least `n` single-writer buffers. Driver thread only,
   /// never while engine workers are running. Existing buffers keep their
   /// addresses (they are heap-boxed), so cached pointers stay valid.
   void ensure_shards(unsigned n);
 
+  /// Bound every shard buffer to the last `per_shard_cap` events
+  /// (0 restores unbounded growth). Driver thread only; applies to
+  /// existing and future shards. Shrinking an over-full buffer keeps
+  /// its most recent events.
+  void set_capacity(std::size_t per_shard_cap);
+  [[nodiscard]] std::size_t capacity() const noexcept { return cap_; }
+
+  /// Rollback support for aborted rounds. In unbounded mode a Mark is
+  /// just the buffer length; in bounded mode it snapshots the ring
+  /// (<= cap events), since an overwrite cannot be undone in place.
+  struct Mark {
+    std::uint64_t appended = 0;
+    std::size_t size = 0;
+    std::vector<TraceEvent> saved;  // bounded mode only
+  };
+  [[nodiscard]] Mark mark(unsigned shard) const;
+  void rewind(unsigned shard, Mark&& m);
+
   [[nodiscard]] std::vector<TraceEvent>& buffer(unsigned shard) {
     return shards_[shard]->events;
   }
+  [[nodiscard]] ShardBuf& shard_buf(unsigned shard) { return *shards_[shard]; }
   [[nodiscard]] unsigned shard_count() const noexcept {
     return static_cast<unsigned>(shards_.size());
   }
@@ -82,7 +125,10 @@ class TraceSink {
     return names_;
   }
 
+  /// Events currently retained (== appended_count() while unbounded).
   [[nodiscard]] std::uint64_t event_count() const noexcept;
+  /// Lifetime appends across all shards, including ring-evicted events.
+  [[nodiscard]] std::uint64_t appended_count() const noexcept;
 
   /// All events, canonically ordered (see file comment): identical for
   /// every thread count, so two merged() streams can be compared with ==.
@@ -94,13 +140,9 @@ class TraceSink {
   void write_jsonl(std::ostream& out) const;
 
  private:
-  // Cache-line-aligned so two workers appending to neighboring buffers
-  // do not share a line through the vector headers.
-  struct alignas(64) ShardBuf {
-    std::vector<TraceEvent> events;
-  };
   std::vector<std::unique_ptr<ShardBuf>> shards_;
   std::vector<std::string> names_;
+  std::size_t cap_ = 0;  // 0 = unbounded
 };
 
 }  // namespace dmatch::obs

@@ -15,6 +15,7 @@
 // between consecutive dispatches.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -35,6 +36,24 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   [[nodiscard]] unsigned size() const noexcept { return size_; }
+
+  /// Contiguous chunk [begin, end) of `count` items owned by worker
+  /// `index` out of `workers`: ceil(count/workers)-sized blocks, the one
+  /// item->shard layout every sharded component (round engine, async
+  /// executor, parallel build/extract) uses, so ownership agrees across
+  /// subsystems and results cannot depend on who computed the split.
+  struct ChunkRange {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+  [[nodiscard]] static constexpr ChunkRange chunk(std::size_t count,
+                                                  unsigned workers,
+                                                  unsigned index) noexcept {
+    const std::size_t len =
+        workers <= 1 ? count : (count + workers - 1) / workers;
+    const std::size_t b = std::min(count, index * len);
+    return {b, std::min(count, b + len)};
+  }
 
   /// Execute task(i) for every i in [0, size()) and block until all
   /// complete. Tasks must not throw across this boundary for indices > 0

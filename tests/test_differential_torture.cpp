@@ -1,0 +1,381 @@
+// Seeded differential torture harness (ctest label `difftorture`).
+//
+// Sweeps graph families x fault plans x executors x thread counts and
+// asserts, for every cell, the repository's strongest cross-cutting
+// guarantees at once:
+//   * the round engine is bit-identical across num_threads {1, 2, 8}
+//     (matching, RunStats, per-round histogram, trip-or-not outcome);
+//   * the async executor is bit-identical across the same thread counts
+//     (matching, AsyncStats, fault counters, dead mask);
+//   * the two executors agree with each other on the matching and on
+//     every fault counter (identical seed-hashed fault histories);
+//   * verify_matching_invariants holds over the surviving nodes.
+//
+// Every run is a pure function of (family, n, seed, plan), so the whole
+// suite is deterministic: same seed => same pass/fail, which the verify
+// recipe re-asserts with `ctest -L difftorture --repeat until-pass:1`.
+// On failure the harness shrinks n (halving while the cell still fails)
+// and prints the offending (family, n, seed, plan) tuple for a one-line
+// repro before reporting the mismatch.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "congest/async.hpp"
+#include "congest/fault.hpp"
+#include "congest/network.hpp"
+#include "core/israeli_itai.hpp"
+#include "core/verify.hpp"
+#include "graph/generators.hpp"
+#include "support/assert.hpp"
+
+namespace dmatch {
+namespace {
+
+using congest::AsyncOptions;
+using congest::AsyncRunResult;
+using congest::AsyncStats;
+using congest::FaultPlan;
+using congest::Model;
+using congest::Network;
+using congest::RunStats;
+
+const unsigned kThreadCounts[] = {1, 2, 8};
+
+// Round budgets are deliberately short: under active plans the raw
+// protocol may never quiesce, and every guarantee the harness asserts
+// (bit-identical histories, counter agreement, healed-matching validity)
+// must hold on truncated histories too. Both executors get the same
+// budget so their histories cover the same simulated rounds.
+constexpr int kRoundBudget = 256;
+
+// --- sweep axes -----------------------------------------------------
+
+struct Family {
+  const char* name;
+  Graph (*make)(NodeId n, std::uint64_t seed);
+};
+
+const Family kFamilies[] = {
+    {"bipartite",
+     [](NodeId n, std::uint64_t seed) {
+       return gen::bipartite_gnp(n / 2, n - n / 2, 6.0 / n, seed);
+     }},
+    {"bounded_degree",
+     [](NodeId n, std::uint64_t seed) { return gen::gnp(n, 3.0 / n, seed); }},
+    {"path", [](NodeId n, std::uint64_t) { return gen::path(n); }},
+    {"cycle", [](NodeId n, std::uint64_t) { return gen::cycle(n); }},
+    {"star",
+     [](NodeId n, std::uint64_t) { return gen::complete_bipartite(1, n - 1); }},
+};
+
+struct PlanSpec {
+  const char* name;
+  FaultPlan (*make)(std::uint64_t seed, NodeId n);
+};
+
+const PlanSpec kPlans[] = {
+    {"none", [](std::uint64_t, NodeId) { return FaultPlan{}; }},
+    {"drops",
+     [](std::uint64_t seed, NodeId) {
+       FaultPlan p;
+       p.drop_prob = 0.08;
+       p.seed = seed * 2 + 1;
+       return p;
+     }},
+    {"dup_reorder",
+     [](std::uint64_t seed, NodeId) {
+       FaultPlan p;
+       p.duplicate_prob = 0.06;
+       p.reorder_prob = 0.15;
+       p.delay_prob = 0.04;
+       p.seed = seed * 2 + 1;
+       return p;
+     }},
+    // Crashes are explicitly scheduled at early rounds rather than drawn
+    // probabilistically: a drawn crash round can land after one executor
+    // has quiesced but inside the other's control-plane tail, making the
+    // two dead sets legitimately diverge. Scheduled early crashes sit
+    // inside both histories, so the executors must agree exactly.
+    {"crash_restart",
+     [](std::uint64_t seed, NodeId n) {
+       FaultPlan p;
+       p.drop_prob = 0.02;
+       p.seed = seed * 2 + 1;
+       const auto un = static_cast<std::uint64_t>(n);
+       const NodeId a = static_cast<NodeId>((seed * 7 + 3) % un);
+       NodeId b = static_cast<NodeId>((seed * 13 + 11) % un);
+       if (b == a) b = static_cast<NodeId>((b + 1) % un);
+       p.crashes.push_back({a, 1 + (seed % 2), 4 + (seed % 2)});
+       p.crashes.push_back({b, 2, congest::kRoundNever});
+       return p;
+     }},
+};
+
+// --- one executor run, exceptions folded into the outcome -----------
+
+struct EngineOutcome {
+  bool tripped = false;  // ContractViolation / MessageTooLarge escaped run()
+  RunStats stats;
+  Matching matching;
+  std::vector<char> dead;  // end-of-run dead mask on the engine's clock
+};
+
+EngineOutcome run_engine(const Graph& g, std::uint64_t seed,
+                         const FaultPlan& plan, unsigned threads) {
+  Network::Options options;
+  options.num_threads = threads;
+  options.fault = plan;
+  Network net(g, Model::kCongest, seed, 48, options);
+  EngineOutcome out;
+  try {
+    out.stats = net.run(israeli_itai_factory(), kRoundBudget);
+  } catch (const ContractViolation&) {
+    out.tripped = true;
+  } catch (const congest::MessageTooLarge&) {
+    out.tripped = true;
+  }
+  out.matching =
+      plan.any() ? net.extract_matching_resilient() : net.extract_matching();
+  out.dead.assign(static_cast<std::size_t>(g.node_count()), 0);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    out.dead[static_cast<std::size_t>(v)] = net.node_dead(v) ? 1 : 0;
+  }
+  return out;
+}
+
+struct AsyncOutcome {
+  bool tripped = false;
+  AsyncRunResult result;
+};
+
+AsyncOutcome run_async(const Graph& g, std::uint64_t seed,
+                       const FaultPlan& plan, unsigned threads) {
+  AsyncOptions options;
+  options.num_threads = threads;
+  options.fault = plan;
+  AsyncOutcome out;
+  try {
+    out.result = congest::run_synchronized(g, israeli_itai_factory(), seed,
+                                           kRoundBudget, options);
+  } catch (const ContractViolation&) {
+    out.tripped = true;
+  } catch (const congest::MessageTooLarge&) {
+    out.tripped = true;
+  }
+  return out;
+}
+
+// --- cell checker: returns the first mismatch, nullopt if clean ------
+
+std::string diff(const char* what, std::uint64_t a, std::uint64_t b,
+                 unsigned threads) {
+  std::ostringstream os;
+  os << what << " mismatch at threads=" << threads << " (" << a << " vs " << b
+     << ")";
+  return os.str();
+}
+
+std::optional<std::string> check_engine_stats(const RunStats& a,
+                                              const RunStats& b,
+                                              unsigned threads) {
+  if (a.rounds != b.rounds) return diff("rounds", a.rounds, b.rounds, threads);
+  if (a.messages != b.messages)
+    return diff("messages", a.messages, b.messages, threads);
+  if (a.total_bits != b.total_bits)
+    return diff("total_bits", a.total_bits, b.total_bits, threads);
+  if (a.max_message_bits != b.max_message_bits)
+    return diff("max_message_bits", a.max_message_bits, b.max_message_bits,
+                threads);
+  if (a.completed != b.completed)
+    return diff("completed", a.completed, b.completed, threads);
+  if (a.round_messages != b.round_messages)
+    return std::string("round_messages histogram mismatch");
+  if (a.dropped_messages != b.dropped_messages)
+    return diff("dropped", a.dropped_messages, b.dropped_messages, threads);
+  if (a.duplicated_messages != b.duplicated_messages)
+    return diff("duplicated", a.duplicated_messages, b.duplicated_messages,
+                threads);
+  if (a.delayed_messages != b.delayed_messages)
+    return diff("delayed", a.delayed_messages, b.delayed_messages, threads);
+  if (a.reordered_inboxes != b.reordered_inboxes)
+    return diff("reordered", a.reordered_inboxes, b.reordered_inboxes,
+                threads);
+  if (a.crashed_nodes != b.crashed_nodes)
+    return diff("crashed", a.crashed_nodes, b.crashed_nodes, threads);
+  if (a.restarted_nodes != b.restarted_nodes)
+    return diff("restarted", a.restarted_nodes, b.restarted_nodes, threads);
+  return std::nullopt;
+}
+
+std::optional<std::string> check_async_stats(const AsyncStats& a,
+                                             const AsyncStats& b,
+                                             unsigned threads) {
+  if (a.events != b.events) return diff("events", a.events, b.events, threads);
+  if (a.payload_messages != b.payload_messages)
+    return diff("payload_messages", a.payload_messages, b.payload_messages,
+                threads);
+  if (a.control_messages != b.control_messages)
+    return diff("control_messages", a.control_messages, b.control_messages,
+                threads);
+  if (a.virtual_rounds != b.virtual_rounds)
+    return diff("virtual_rounds", a.virtual_rounds, b.virtual_rounds, threads);
+  if (a.completion_time != b.completion_time)
+    return std::string("completion_time mismatch");
+  if (a.completed != b.completed)
+    return diff("completed", a.completed, b.completed, threads);
+  if (a.round_payloads != b.round_payloads)
+    return std::string("round_payloads histogram mismatch");
+  if (a.dropped_messages != b.dropped_messages)
+    return diff("dropped", a.dropped_messages, b.dropped_messages, threads);
+  if (a.duplicated_messages != b.duplicated_messages)
+    return diff("duplicated", a.duplicated_messages, b.duplicated_messages,
+                threads);
+  if (a.delayed_messages != b.delayed_messages)
+    return diff("delayed", a.delayed_messages, b.delayed_messages, threads);
+  if (a.reordered_inboxes != b.reordered_inboxes)
+    return diff("reordered", a.reordered_inboxes, b.reordered_inboxes,
+                threads);
+  if (a.crashed_nodes != b.crashed_nodes)
+    return diff("crashed", a.crashed_nodes, b.crashed_nodes, threads);
+  if (a.restarted_nodes != b.restarted_nodes)
+    return diff("restarted", a.restarted_nodes, b.restarted_nodes, threads);
+  return std::nullopt;
+}
+
+/// Runs every executor x thread-count combination of one cell and
+/// returns a description of the first broken guarantee (nullopt = cell
+/// passes). Never uses gtest assertions so the shrinker can re-invoke it.
+std::optional<std::string> check_cell(const Family& family, NodeId n,
+                                      std::uint64_t seed,
+                                      const PlanSpec& plan_spec) {
+  const Graph g = family.make(n, seed);
+  const FaultPlan plan = plan_spec.make(seed, n);
+
+  // Round engine across thread counts (kThreadCounts[0] == 1 is the
+  // reference itself, so start the comparison at the second entry).
+  const EngineOutcome engine_ref = run_engine(g, seed, plan, 1);
+  for (const unsigned threads : {kThreadCounts[1], kThreadCounts[2]}) {
+    const EngineOutcome got = run_engine(g, seed, plan, threads);
+    if (got.tripped != engine_ref.tripped)
+      return diff("engine trip outcome", engine_ref.tripped, got.tripped,
+                  threads);
+    if (!got.tripped) {
+      if (auto err = check_engine_stats(engine_ref.stats, got.stats, threads))
+        return "engine " + *err;
+    }
+    if (!(got.matching == engine_ref.matching))
+      return "engine matching mismatch at threads=" + std::to_string(threads);
+  }
+
+  // Async executor across thread counts.
+  const AsyncOutcome async_ref = run_async(g, seed, plan, 1);
+  for (const unsigned threads : {kThreadCounts[1], kThreadCounts[2]}) {
+    const AsyncOutcome got = run_async(g, seed, plan, threads);
+    if (got.tripped != async_ref.tripped)
+      return diff("async trip outcome", async_ref.tripped, got.tripped,
+                  threads);
+    if (got.tripped) continue;
+    if (auto err = check_async_stats(async_ref.result.stats, got.result.stats,
+                                     threads))
+      return "async " + *err;
+    if (!(got.result.matching == async_ref.result.matching))
+      return "async matching mismatch at threads=" + std::to_string(threads);
+    if (got.result.dead_nodes != async_ref.result.dead_nodes)
+      return "async dead-mask mismatch at threads=" + std::to_string(threads);
+  }
+
+  // Matching invariants over the surviving nodes, per executor (each
+  // against its own end-of-run dead mask).
+  if (!async_ref.tripped) {
+    const MatchingInvariantReport async_check = verify_matching_invariants(
+        g, async_ref.result.matching, async_ref.result.dead_nodes);
+    if (!async_check.ok()) return "async invariants: " + async_check.summary();
+  }
+  {
+    const MatchingInvariantReport engine_check =
+        verify_matching_invariants(g, engine_ref.matching, engine_ref.dead);
+    if (!engine_check.ok())
+      return "engine invariants: " + engine_check.summary();
+  }
+
+  // Cross-executor agreement: identical seed-hashed fault histories mean
+  // identical fault counters and the same healed matching.
+  if (!engine_ref.tripped && !async_ref.tripped) {
+    const RunStats& es = engine_ref.stats;
+    const AsyncStats& as = async_ref.result.stats;
+    // The drop counter includes deliveries discarded at dead receivers;
+    // on a truncated (non-quiescent) history the last round's deliveries
+    // land inside the engine's budget but past the async executor's, so
+    // that one counter is only comparable when both runs quiesced.
+    if (es.completed && as.completed &&
+        es.dropped_messages != as.dropped_messages)
+      return diff("cross-executor dropped", es.dropped_messages,
+                  as.dropped_messages, 1);
+    if (es.duplicated_messages != as.duplicated_messages)
+      return diff("cross-executor duplicated", es.duplicated_messages,
+                  as.duplicated_messages, 1);
+    if (es.delayed_messages != as.delayed_messages)
+      return diff("cross-executor delayed", es.delayed_messages,
+                  as.delayed_messages, 1);
+    if (es.crashed_nodes != as.crashed_nodes)
+      return diff("cross-executor crashed", es.crashed_nodes, as.crashed_nodes,
+                  1);
+    if (es.restarted_nodes != as.restarted_nodes)
+      return diff("cross-executor restarted", es.restarted_nodes,
+                  as.restarted_nodes, 1);
+    if (!(engine_ref.matching == async_ref.result.matching))
+      return std::string("cross-executor matching mismatch");
+  }
+  return std::nullopt;
+}
+
+/// On failure, halve n while the cell keeps failing and report the
+/// smallest reproducer as a one-line tuple.
+void run_cell_with_shrink(const Family& family, NodeId n, std::uint64_t seed,
+                          const PlanSpec& plan_spec) {
+  std::optional<std::string> err = check_cell(family, n, seed, plan_spec);
+  if (!err) return;
+  NodeId bad_n = n;
+  std::string bad_err = *err;
+  for (NodeId m = n / 2; m >= 8; m /= 2) {
+    if (auto smaller = check_cell(family, m, seed, plan_spec)) {
+      bad_n = m;
+      bad_err = *smaller;
+    } else {
+      break;
+    }
+  }
+  ADD_FAILURE() << "difftorture repro: family=" << family.name
+                << " n=" << bad_n << " seed=" << seed
+                << " plan=" << plan_spec.name << "\n  " << bad_err;
+}
+
+// --- the sweep, one TEST per fault plan for parallel ctest sharding --
+
+void sweep_plan(const PlanSpec& plan_spec) {
+  for (const Family& family : kFamilies) {
+    for (const NodeId n : {24, 64}) {
+      for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+        SCOPED_TRACE(::testing::Message()
+                     << "family=" << family.name << " n=" << n
+                     << " seed=" << seed << " plan=" << plan_spec.name);
+        run_cell_with_shrink(family, n, seed, plan_spec);
+      }
+    }
+  }
+}
+
+TEST(DifferentialTorture, FaultFree) { sweep_plan(kPlans[0]); }
+
+TEST(DifferentialTorture, Drops) { sweep_plan(kPlans[1]); }
+
+TEST(DifferentialTorture, DupReorder) { sweep_plan(kPlans[2]); }
+
+TEST(DifferentialTorture, CrashRestart) { sweep_plan(kPlans[3]); }
+
+}  // namespace
+}  // namespace dmatch

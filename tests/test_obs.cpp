@@ -385,5 +385,147 @@ TEST(ObsArqTuning, WindowSixteenSurvivesHeavyDrops) {
   }
 }
 
+// ---------------------------------------------------------------------
+// Bounded-memory trace mode (ring buffers)
+// ---------------------------------------------------------------------
+
+/// Retained events of a (possibly capped) shard buffer in append order:
+/// the ring's oldest slot is appended % cap once it has wrapped.
+std::vector<obs::TraceEvent> linearized(const obs::TraceSink::ShardBuf& buf) {
+  if (buf.cap == 0 || buf.appended <= buf.cap) return buf.events;
+  std::vector<obs::TraceEvent> out;
+  out.reserve(buf.cap);
+  const auto start = static_cast<std::size_t>(buf.appended % buf.cap);
+  for (std::size_t i = 0; i < buf.cap; ++i) {
+    out.push_back(buf.events[(start + i) % buf.cap]);
+  }
+  return out;
+}
+
+TEST(TraceRing, CapHoldsAndKeepsNewestEvents) {
+  obs::TraceSink sink;
+  sink.set_capacity(4);
+  sink.ensure_shards(1);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    sink.shard_buf(0).push({i, 0, 0, i, 0});
+  }
+  EXPECT_EQ(sink.shard_buf(0).events.size(), 4u);
+  EXPECT_EQ(sink.event_count(), 4u);
+  EXPECT_EQ(sink.appended_count(), 10u);
+  const auto kept = linearized(sink.shard_buf(0));
+  ASSERT_EQ(kept.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(kept[i].t, 6 + i);  // the newest four appends survive
+  }
+}
+
+TEST(TraceRing, ShrinkingCapacityKeepsNewestTail) {
+  obs::TraceSink sink;
+  sink.ensure_shards(1);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    sink.shard_buf(0).push({i, 0, 0, 0, 0});
+  }
+  sink.set_capacity(3);
+  const auto kept = linearized(sink.shard_buf(0));
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_EQ(kept[0].t, 5u);
+  EXPECT_EQ(kept[2].t, 7u);
+  // The ring keeps working after the shrink: one more push evicts the
+  // oldest retained event.
+  sink.shard_buf(0).push({8, 0, 0, 0, 0});
+  const auto after = linearized(sink.shard_buf(0));
+  ASSERT_EQ(after.size(), 3u);
+  EXPECT_EQ(after[0].t, 6u);
+  EXPECT_EQ(after[2].t, 8u);
+}
+
+TEST(TraceRing, MarkRewindRestoresCappedBuffer) {
+  obs::TraceSink sink;
+  sink.set_capacity(4);
+  sink.ensure_shards(1);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    sink.shard_buf(0).push({i, 0, 0, 0, 0});
+  }
+  const auto before = linearized(sink.shard_buf(0));
+  auto m = sink.mark(0);
+  sink.shard_buf(0).push({100, 0, 0, 0, 0});
+  sink.shard_buf(0).push({101, 0, 0, 0, 0});
+  sink.rewind(0, std::move(m));
+  EXPECT_EQ(sink.appended_count(), 6u);
+  EXPECT_TRUE(linearized(sink.shard_buf(0)) == before);
+}
+
+/// An observed israeli_itai run with an optional per-shard trace cap.
+ObservedRun observed_capped_run(unsigned num_threads, std::size_t cap,
+                                std::uint64_t* appended = nullptr,
+                                std::vector<std::vector<obs::TraceEvent>>*
+                                    retained = nullptr) {
+  const Graph g = gen::gnp(80, 0.12, 11);
+  obs::ObsConfig config;
+  config.trace_capacity = cap;
+  obs::Observer ob(config);
+  Network::Options opt;
+  opt.num_threads = num_threads;
+  opt.observer = &ob;
+  Network net(g, Model::kCongest, 21, 48, opt);
+  IsraeliItaiResult result = israeli_itai(net);
+  if (appended != nullptr) *appended = ob.trace_sink().appended_count();
+  if (retained != nullptr) {
+    retained->clear();
+    for (unsigned s = 0; s < ob.trace_sink().shard_count(); ++s) {
+      retained->push_back(linearized(ob.trace_sink().shard_buf(s)));
+      EXPECT_LE(retained->back().size(), cap == 0 ? SIZE_MAX : cap);
+    }
+  }
+  return {metrics_json(ob), profile_json(ob, 8), ob.trace_sink().merged(),
+          std::move(result.matching)};
+}
+
+TEST(TraceRing, CappedRunAgreesWithUncappedOnRetainedEvents) {
+  // Same run, capped and uncapped: every retained event of the capped
+  // trace must equal the corresponding tail event of the uncapped
+  // per-shard stream (the cap only evicts, never distorts), lifetime
+  // append counts must match, and everything outside the trace (metrics,
+  // profile, matching) must be untouched by the cap.
+  constexpr std::size_t kCap = 8;
+  for (const unsigned threads : {1u, 2u}) {
+    std::uint64_t appended_capped = 0;
+    std::uint64_t appended_full = 0;
+    std::vector<std::vector<obs::TraceEvent>> capped_retained;
+    std::vector<std::vector<obs::TraceEvent>> full_retained;
+    const ObservedRun capped =
+        observed_capped_run(threads, kCap, &appended_capped, &capped_retained);
+    const ObservedRun full =
+        observed_capped_run(threads, 0, &appended_full, &full_retained);
+    EXPECT_EQ(appended_capped, appended_full) << threads << " threads";
+    EXPECT_GT(appended_full, static_cast<std::uint64_t>(kCap));
+    ASSERT_EQ(capped_retained.size(), full_retained.size());
+    for (std::size_t s = 0; s < capped_retained.size(); ++s) {
+      const auto& kept = capped_retained[s];
+      const auto& all = full_retained[s];
+      ASSERT_LE(kept.size(), kCap) << "shard " << s;
+      ASSERT_LE(kept.size(), all.size()) << "shard " << s;
+      const std::size_t off = all.size() - kept.size();
+      for (std::size_t i = 0; i < kept.size(); ++i) {
+        ASSERT_TRUE(kept[i] == all[off + i])
+            << "shard " << s << " event " << i;
+      }
+    }
+    EXPECT_EQ(capped.metrics, full.metrics) << threads << " threads";
+    EXPECT_EQ(capped.profile, full.profile) << threads << " threads";
+    EXPECT_TRUE(capped.matching == full.matching) << threads << " threads";
+  }
+}
+
+TEST(TraceRing, CappedRunDeterministicRerun) {
+  // Same seed, same thread count, same cap: the retained trace is
+  // reproduced exactly (the `--repeat until-pass:1` contract applied to
+  // bounded-memory tracing).
+  const ObservedRun a = observed_capped_run(2, 48);
+  const ObservedRun b = observed_capped_run(2, 48);
+  EXPECT_TRUE(a.trace == b.trace);
+  EXPECT_EQ(a.metrics, b.metrics);
+}
+
 }  // namespace
 }  // namespace dmatch

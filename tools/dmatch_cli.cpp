@@ -22,6 +22,9 @@
 //   --k K            approximation parameter for mcm-* (default 5 / 3)
 //   --epsilon E      approximation parameter for mwm* (default 0.1)
 //   --dot FILE       also write a Graphviz rendering with the matching
+//   --threads N      worker count for the simulated networks and the
+//                    async executor (0 = hardware concurrency, default 1;
+//                    results are bit-identical for any value)
 //
 // Fault injection (maximal, mcm-bipartite, mcm-general, mwm):
 //   --fault-drop P     per-message drop probability
@@ -38,6 +41,8 @@
 //   --trace-out FILE    write a Chrome trace_event JSON to FILE and a
 //                       structured event log to FILE.jsonl
 //   --metrics-out FILE  write the merged metrics registry as JSON
+//   --trace-cap N       bounded-memory tracing: keep only the last N
+//                       events per shard buffer (0 = unbounded)
 //   --profile-links K   print the top-K hot links + per-round curves as
 //                       a JSON congestion report on stdout
 //   --arq-window W      resilient-layer ARQ window (1..16; fault mode)
@@ -213,14 +218,20 @@ int run(const Args& args) {
     cfg.metrics = true;
     cfg.profile_links = true;
     if (profile_links > 0) cfg.top_k = profile_links;
+    cfg.trace_capacity =
+        static_cast<std::size_t>(std::stoul(args.get("trace-cap", "0")));
     observer = std::make_unique<obs::Observer>(cfg);
   }
+
+  const unsigned num_threads =
+      static_cast<unsigned>(std::stoul(args.get("threads", "1")));
 
   congest::ResilientOptions arq;
   arq.window = std::stoi(args.get("arq-window", std::to_string(arq.window)));
   DMATCH_EXPECTS(arq.window >= 1);
 
   congest::Network::Options net_options;
+  net_options.num_threads = num_threads;
   net_options.fault = fault;
   net_options.observer = observer.get();
   if (args.command == "maximal") {
@@ -240,6 +251,7 @@ int run(const Args& args) {
     GeneralMcmOptions options;
     options.k = std::stoi(args.get("k", "3"));
     options.seed = seed;
+    options.num_threads = num_threads;
     options.fault = fault;
     options.arq = arq;
     options.observer = observer.get();
@@ -250,6 +262,7 @@ int run(const Args& args) {
     HalfMwmOptions options;
     options.epsilon = std::stod(args.get("epsilon", "0.1"));
     options.seed = seed;
+    options.num_threads = num_threads;
     options.fault = fault;
     options.arq = arq;
     options.observer = observer.get();

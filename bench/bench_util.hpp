@@ -1,11 +1,17 @@
 // Shared helpers for the experiment binaries.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <limits>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include "support/sched.hpp"
 
 namespace dmatch::bench {
 
@@ -32,6 +38,42 @@ inline std::string shell_line(const char* cmd) {
   return out;
 }
 
+/// JSON object describing the machine and scheduler configuration a bench
+/// ran under. Every BENCH_*.json embeds one as its "machine" key so a
+/// result file is interpretable without knowing which box produced it
+/// (timing numbers from a 1-core CI container and a 32-core workstation
+/// are not comparable; the determinism columns are).
+inline std::string machine_context_json(
+    const support::SchedOptions& sched = {}) {
+  std::ostringstream o;
+  o << "{\"hardware_concurrency\":" << std::thread::hardware_concurrency()
+    << ", \"pinning_supported\": "
+    << (support::Scheduler::pinning_supported() ? "true" : "false")
+    << ", \"sched_mode\": \"" << support::to_string(sched.mode) << "\""
+    << ", \"pin_threads\": " << (sched.pin_threads ? "true" : "false") << "}";
+  return o.str();
+}
+
+/// Warm-up + min-of-N timing: run `body` `warmup` times untimed (faults in
+/// mailboxes, page tables, thread pools), then `reps` measured repetitions
+/// and return the minimum wall-clock seconds. The minimum is the standard
+/// robust estimator for "how fast can this go" — it rejects one-sided OS
+/// scheduling noise that inflates means and medians on shared machines.
+template <typename F>
+double min_seconds(F&& body, int reps = 5, int warmup = 1) {
+  for (int i = 0; i < warmup; ++i) body();
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    body();
+    const double s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (s < best) best = s;
+  }
+  return best;
+}
+
 /// Machine-readable result file: collects one JSON object per measured
 /// cell and writes `BENCH_<name>.json` at the repo root (where
 /// tools/regen_experiments.py picks it up), schema
@@ -46,6 +88,13 @@ class JsonReport {
   /// (typically the same text the bench prints as a JSON line).
   void cell(const std::string& json_object) { cells_.push_back(json_object); }
 
+  /// Override the embedded machine context (e.g. to record the sched
+  /// mode / pinning the bench actually ran with). Defaults to
+  /// machine_context_json({}).
+  void set_machine(std::string json_object) {
+    machine_ = std::move(json_object);
+  }
+
   /// Write the file; returns the path written ("" on failure).
   std::string write() const {
     const std::string root = shell_line("git rev-parse --show-toplevel 2>/dev/null");
@@ -55,7 +104,9 @@ class JsonReport {
     std::ofstream out(path);
     if (!out.good()) return "";
     out << "{\"bench\": \"" << name_ << "\", \"commit\": \"" << commit
-        << "\", \"cells\": [\n";
+        << "\",\n \"machine\": "
+        << (machine_.empty() ? machine_context_json() : machine_)
+        << ",\n \"cells\": [\n";
     for (std::size_t i = 0; i < cells_.size(); ++i) {
       out << "  " << cells_[i] << (i + 1 < cells_.size() ? "," : "") << "\n";
     }
@@ -65,6 +116,7 @@ class JsonReport {
 
  private:
   std::string name_;
+  std::string machine_;
   std::vector<std::string> cells_;
 };
 

@@ -10,9 +10,10 @@
 #include <tuple>
 #include <utility>
 
+#include "support/arena.hpp"
 #include "support/assert.hpp"
 #include "support/rng.hpp"
-#include "support/thread_pool.hpp"
+#include "support/sched.hpp"
 
 namespace dmatch::congest {
 
@@ -52,10 +53,14 @@ struct EventLater {
 };
 
 /// Context handed to the wrapped synchronous process; captures sends.
+/// Per-round outbox, arena-backed: the buffer comes from the shard's
+/// bump arena and is reclaimed wholesale at the next execute_round.
+using Outbox = support::ArenaVector<std::pair<int, Message>>;
+
 class AsyncContext final : public Context {
  public:
   AsyncContext(const Graph& g, NodeId id, int round, Rng& rng, int& mate_port,
-               std::vector<std::pair<int, Message>>& outbox)
+               Outbox& outbox)
       : g_(g),
         id_(id),
         round_(round),
@@ -96,7 +101,7 @@ class AsyncContext final : public Context {
   int round_;
   Rng& rng_;
   int& mate_port_;
-  std::vector<std::pair<int, Message>>& outbox_;
+  Outbox& outbox_;
 #ifndef DMATCH_OBS_DISABLED
   obs::ShardObs* obs_ = nullptr;
 #endif
@@ -135,6 +140,10 @@ struct alignas(64) AsyncShard {
   std::exception_ptr error;
   std::uint64_t stamp_token = 0;    // for the one-message-per-port contract
   std::vector<std::uint64_t> port_stamp;
+  // Bump arena for per-round transient buffers (the outbox); reset at
+  // every execute_round, so steady-state rounds make no heap calls for
+  // scratch. Strictly shard-private, like everything else here.
+  support::Arena arena;
 #ifndef DMATCH_OBS_DISABLED
   obs::ShardObs* sobs = nullptr;
   std::vector<std::uint64_t> round_bits;  // parallels stats.round_payloads
@@ -155,15 +164,17 @@ class AlphaSynchronizerRun {
         dseed_(fault_detail::mix(seed, 0xd37a11ce5ULL, 0, 0)) {
     DMATCH_EXPECTS(mate_ports_.size() ==
                    static_cast<std::size_t>(g.node_count()));
-    unsigned threads = options.num_threads != 0
-                           ? options.num_threads
-                           : std::max(1u, std::thread::hardware_concurrency());
-    num_shards_ = std::max(1u, threads);
+    const unsigned threads =
+        options.num_threads != 0
+            ? options.num_threads
+            : std::max(1u, std::thread::hardware_concurrency());
     const auto n = static_cast<std::size_t>(g.node_count());
-    shard_len_ = num_shards_ > 1
-                     ? (n + num_shards_ - 1) / num_shards_
-                     : (n == 0 ? 1 : n);
-    if (shard_len_ == 0) shard_len_ = 1;
+    dispatcher_ = std::make_unique<support::Scheduler>(threads, options.sched);
+    // Shard geometry is frozen from the scheduler's task plan before any
+    // event executes; results are shard-layout independent, so modes
+    // with different shard counts still agree bit for bit.
+    num_shards_ = dispatcher_->plan_tasks(n);
+    n_ = n;
     shards_.resize(num_shards_);
     lanes_.resize(static_cast<std::size_t>(num_shards_) * num_shards_);
     int max_degree = 0;
@@ -172,9 +183,6 @@ class AlphaSynchronizerRun {
     }
     for (AsyncShard& sh : shards_) {
       sh.port_stamp.assign(static_cast<std::size_t>(max_degree), 0);
-    }
-    if (num_shards_ > 1) {
-      pool_ = std::make_unique<support::ThreadPool>(num_shards_);
     }
 
     Rng root(seed);
@@ -248,28 +256,22 @@ class AlphaSynchronizerRun {
   // --- shard geometry -------------------------------------------------
 
   [[nodiscard]] unsigned shard_of(NodeId v) const {
-    return static_cast<unsigned>(static_cast<std::size_t>(v) / shard_len_);
+    return support::balanced_part_of(n_, num_shards_,
+                                     static_cast<std::size_t>(v));
   }
   [[nodiscard]] NodeId shard_begin(unsigned s) const {
     return static_cast<NodeId>(
-        std::min(static_cast<std::size_t>(s) * shard_len_,
-                 static_cast<std::size_t>(g_.node_count())));
+        support::balanced_range(n_, num_shards_, s).begin);
   }
   [[nodiscard]] NodeId shard_end(unsigned s) const {
-    return static_cast<NodeId>(
-        std::min(static_cast<std::size_t>(s + 1) * shard_len_,
-                 static_cast<std::size_t>(g_.node_count())));
+    return static_cast<NodeId>(support::balanced_range(n_, num_shards_, s).end);
   }
   [[nodiscard]] std::vector<Event>& lane(unsigned src, unsigned dst) {
     return lanes_[static_cast<std::size_t>(src) * num_shards_ + dst];
   }
 
   void for_each_shard(const std::function<void(unsigned)>& task) {
-    if (pool_ != nullptr) {
-      pool_->run(task);
-    } else {
-      task(0);
-    }
+    dispatcher_->run_tasks(num_shards_, task);
   }
 
   void rethrow_shard_errors() {
@@ -641,7 +643,13 @@ class AlphaSynchronizerRun {
       }
     }
 
-    std::vector<std::pair<int, Message>> outbox;
+    // Arena-backed outbox: reset reclaims the previous round's scratch
+    // wholesale (nothing arena-backed outlives an execute_round call),
+    // and the CONGEST one-message-per-port contract makes degree(v) an
+    // exact reservation, so steady-state rounds never touch the heap.
+    shard.arena.reset();
+    Outbox outbox{support::ArenaAllocator<std::pair<int, Message>>(shard.arena)};
+    outbox.reserve(static_cast<std::size_t>(g_.degree(v)));
     // Mirror Network::run: halted nodes with an empty inbox are skipped
     // (they still synchronize, sending SAFE with no data).
     if (!node.proc->halted() || !inbox.empty()) {
@@ -827,8 +835,8 @@ class AlphaSynchronizerRun {
   const std::uint64_t dseed_;  // delay-hash seed (derived from run seed)
 
   unsigned num_shards_ = 1;
-  std::size_t shard_len_ = 1;
-  std::unique_ptr<support::ThreadPool> pool_;
+  std::size_t n_ = 0;
+  std::unique_ptr<support::Scheduler> dispatcher_;
   std::vector<AsyncShard> shards_;
   std::vector<std::vector<Event>> lanes_;  // (src shard, dst shard) boxes
   std::atomic<bool> failed_{false};

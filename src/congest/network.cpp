@@ -33,6 +33,11 @@ struct ExtraMsg {
   Message msg;
 };
 
+/// Renormalization threshold for the packed 32-bit mailbox epochs: far
+/// below wrap, far above any round budget a single run can execute
+/// between two renormalization checks.
+constexpr std::uint32_t kEpochRenorm = 0xFFFF0000u;
+
 /// ExtraMsg in transit between shards, tagged with its delivery round.
 struct FaultLaneMsg {
   NodeId node;
@@ -155,18 +160,21 @@ Network::Network(const Graph& g, Model model, std::uint64_t seed,
   num_threads_ = options_.num_threads != 0
                      ? options_.num_threads
                      : std::max(1u, std::thread::hardware_concurrency());
-  if (num_threads_ > 1) {
-    pool_ = std::make_unique<support::ThreadPool>(num_threads_);
-  }
+  sched_ = std::make_unique<support::Scheduler>(num_threads_, options_.sched);
+  // Shard count is frozen here: one shard per worker under static and
+  // rapid-start dispatch, several stealable blocks per worker under
+  // work-stealing. Results are shard-layout independent, so modes with
+  // different shard counts still produce bit-identical runs.
+  num_shards_ = sched_->plan_tasks(n);
 
   // Slot-offset prefix sums stay sequential (a scan), but the per-node
   // RNG forks and the cross-endpoint peer tables are embarrassingly
-  // parallel: each worker fills its contiguous node chunk, and every
-  // entry is a pure function of (seed, graph), so the tables are
-  // identical for any worker count.
+  // parallel: each worker fills contiguous node shards, and every entry
+  // is a pure function of (seed, graph), so the tables are identical for
+  // any worker count.
   const Rng root(seed);
-  node_rng_.assign(n, Rng(0));
-  mate_port_.assign(n, -1);
+  node_rng_.reset(n, num_shards_, Rng(0));
+  mate_port_.reset(n, num_shards_, -1);
 
   // Cross-endpoint port tables: one lookup per message on the hot path
   // instead of a Graph::port_of_edge call.
@@ -179,12 +187,12 @@ Network::Network(const Graph& g, Model model, std::uint64_t seed,
   const std::size_t slots = slot_offset_[n];
   peer_slot_.resize(slots);
   peer_node_.resize(slots);
-  const auto build_chunk = [this, &g, &root](unsigned w) {
-    const auto [vb, ve] = support::ThreadPool::chunk(
-        static_cast<std::size_t>(g.node_count()), num_threads_, w);
+  const auto build_chunk = [this, &g, &root](unsigned s) {
+    Rng* const rngs = node_rng_.shard_view(s);
+    const auto [vb, ve] = node_rng_.range(s);
     for (std::size_t vi = vb; vi < ve; ++vi) {
       const auto v = static_cast<NodeId>(vi);
-      node_rng_[vi] = root.fork(static_cast<std::uint64_t>(v));
+      rngs[vi] = root.fork(static_cast<std::uint64_t>(v));
       const auto edges = g.incident_edges(v);
       for (std::size_t p = 0; p < edges.size(); ++p) {
         const EdgeId e = edges[p];
@@ -197,18 +205,13 @@ Network::Network(const Graph& g, Model model, std::uint64_t seed,
       }
     }
   };
-  if (pool_ != nullptr) {
-    pool_->run(build_chunk);
-  } else {
-    build_chunk(0);
-  }
+  sched_->run_tasks(num_shards_, build_chunk);
 
   cur_msg_.resize(slots);
   nxt_msg_.resize(slots);
   cur_stamp_.assign(slots, 0);
   nxt_stamp_.assign(slots, 0);
-  pending_mark_.assign(n, 0);
-  rcv_count_.assign(n, 0);
+  gates_.reset(n, num_shards_, NodeGate{});
 
   // Precompute the whole crash schedule from the plan seed so every
   // Network built with the same plan — at any thread count — agrees on
@@ -250,15 +253,15 @@ RunStats Network::run(const ProcessFactory& factory, int max_rounds) {
   // a live bucket onto one being filled.
   const int delay_window = faults ? max_d + 2 : 0;
 
-  const unsigned num_shards = num_threads_;
-  if (num_shards > 1 && pool_ == nullptr) {
-    pool_ = std::make_unique<support::ThreadPool>(num_shards);
-  }
-  const NodeId shard_len = static_cast<NodeId>(
-      (g.node_count() + static_cast<NodeId>(num_shards) - 1) /
-      static_cast<NodeId>(num_shards));
-  const auto shard_of = [shard_len](NodeId v) {
-    return shard_len == 0 ? 0u : static_cast<unsigned>(v / shard_len);
+  // Packed 32-bit epochs alias only after ~2^32 rounds; renormalize the
+  // stamp space long before that (cold: once per ~4e9 rounds / runs).
+  if (epoch_ >= kEpochRenorm) renormalize_epochs();
+  if (options_.sched.profile) sched_->reset_profile();
+
+  const unsigned num_shards = num_shards_;
+  const auto shard_of = [n, num_shards](NodeId v) {
+    return support::balanced_part_of(n, num_shards,
+                                     static_cast<std::size_t>(v));
   };
 
   std::vector<ShardState> shards(num_shards);
@@ -286,24 +289,31 @@ RunStats Network::run(const ProcessFactory& factory, int max_rounds) {
 
   std::vector<std::unique_ptr<Process>> procs;
   procs.reserve(n);
-  for (NodeId v = 0; v < g.node_count(); ++v) {
-    const auto vi = static_cast<std::size_t>(v);
-    if (faults) {
-      respawn_pending_[vi] = 0;
-      // A crash-restart interval that completed before this run began:
-      // the node comes back with a cleared output register, once.
-      if (restart_at_[vi] <= base_round && !restart_cleared_[vi]) {
-        mate_port_[vi] = -1;
-        restart_cleared_[vi] = 1;
+  // Shard-major construction: shards are contiguous ascending node
+  // ranges, so this visits nodes in the same global ascending order as
+  // before while touching each register segment exactly once.
+  for (unsigned s = 0; s < num_shards; ++s) {
+    int* const regs = mate_port_.shard_view(s);
+    const auto [vb, ve] = mate_port_.range(s);
+    for (std::size_t vi = vb; vi < ve; ++vi) {
+      const auto v = static_cast<NodeId>(vi);
+      if (faults) {
+        respawn_pending_[vi] = 0;
+        // A crash-restart interval that completed before this run began:
+        // the node comes back with a cleared output register, once.
+        if (restart_at_[vi] <= base_round && !restart_cleared_[vi]) {
+          regs[vi] = -1;
+          restart_cleared_[vi] = 1;
+        }
       }
-    }
-    procs.push_back(factory(v, g));
-    DMATCH_ENSURES(procs.back() != nullptr);
-    // A process that starts out halted is never stepped (and, with no
-    // messages in flight yet, cannot be woken) until someone contacts it.
-    // Currently dead nodes likewise wait for their restart event.
-    if (!procs.back()->halted() && !(faults && dead_at(v, base_round))) {
-      shards[shard_of(v)].active.push_back(v);
+      procs.push_back(factory(v, g));
+      DMATCH_ENSURES(procs.back() != nullptr);
+      // A process that starts out halted is never stepped (and, with no
+      // messages in flight yet, cannot be woken) until someone contacts
+      // it. Currently dead nodes likewise wait for their restart event.
+      if (!procs.back()->halted() && !(faults && dead_at(v, base_round))) {
+        shards[s].active.push_back(v);
+      }
     }
   }
 
@@ -331,26 +341,27 @@ RunStats Network::run(const ProcessFactory& factory, int max_rounds) {
   obs::CongestionProfiler::LinkSnapshot obs_link_snap;
 #endif
 
-  const auto for_each_shard = [&](auto&& fn) {
-    if (num_shards == 1) {
-      fn(0u);
-    } else {
-      pool_->run(fn);
-    }
+  const auto for_each_shard = [&](const std::function<void(unsigned)>& fn) {
+    sched_->run_tasks(num_shards, fn);
   };
 
   // On every exit (including exceptions) jump the epoch past both mailbox
   // buffers so no stale message or pending mark can leak into a later run.
   const auto invalidate_state = [&] {
     epoch_ += 2;
-    rcv_count_.assign(n, 0);
+    gates_.fill(NodeGate{});
   };
 
   const auto step_shard = [&](int round) {
     return [&, round](unsigned s) {
       ShardState& shard = shards[s];
+      // Shard-local slab views: all per-node accesses below stay inside
+      // this shard's 64-byte-aligned segments.
+      int* const regs = mate_port_.shard_view(s);
+      Rng* const rngs = node_rng_.shard_view(s);
+      Network::NodeGate* const gates = gates_.shard_view(s);
       try {
-        const std::uint64_t next_epoch = epoch_ + 1;
+        const std::uint32_t next_epoch = epoch_ + 1;
         const std::uint64_t life_round =
             base_round + static_cast<std::uint64_t>(round);
         for (const NodeId v : shard.active) {
@@ -363,8 +374,8 @@ RunStats Network::run(const ProcessFactory& factory, int max_rounds) {
               // Dead node: consume and discard everything addressed to
               // it. Delayed deliveries stay parked; the route phase
               // clears the bucket wholesale after this round.
-              shard.stats.dropped_messages += rcv_count_[vi];
-              rcv_count_[vi] = 0;
+              shard.stats.dropped_messages += gates[vi].rcv;
+              gates[vi].rcv = 0;
               const auto& bucket =
                   shard.ring[static_cast<std::size_t>(round % delay_window)];
               auto it = std::lower_bound(
@@ -379,7 +390,7 @@ RunStats Network::run(const ProcessFactory& factory, int max_rounds) {
               // Crash-restart: fresh protocol state, cleared register.
               respawn_pending_[vi] = 0;
               restart_cleared_[vi] = 1;
-              mate_port_[vi] = -1;
+              regs[vi] = -1;
               procs[vi] = factory(v, g);
               DMATCH_ENSURES(procs[vi] != nullptr);
             }
@@ -389,8 +400,8 @@ RunStats Network::run(const ProcessFactory& factory, int max_rounds) {
           // port order, so no sort is needed, and the receive counter
           // cuts the scan short.
           shard.inbox.clear();
-          std::uint32_t remaining = rcv_count_[vi];
-          rcv_count_[vi] = 0;
+          std::uint32_t remaining = gates[vi].rcv;
+          gates[vi].rcv = 0;
           const std::size_t slot_end = slot_offset_[vi + 1];
           for (std::size_t slot = base; remaining > 0 && slot < slot_end;
                ++slot) {
@@ -437,9 +448,8 @@ RunStats Network::run(const ProcessFactory& factory, int max_rounds) {
           }
 
           shard.outbox.clear();
-          NodeContext ctx(g, v, g.node_count(), round, node_rng_[vi],
-                          mate_port_[vi], model_, cap_bits_, shard.outbox,
-                          shard.stats);
+          NodeContext ctx(g, v, g.node_count(), round, rngs[vi], regs[vi],
+                          model_, cap_bits_, shard.outbox, shard.stats);
           DMATCH_OBS(ctx.attach_obs(sobs[s], base);)
           procs[vi]->on_round(ctx, shard.inbox);
 
@@ -514,7 +524,7 @@ RunStats Network::run(const ProcessFactory& factory, int max_rounds) {
           }
           if (!procs[vi]->halted()) {
             shard.next_active.push_back(v);
-            pending_mark_[vi] = next_epoch;
+            gates[vi].mark = next_epoch;
           }
         }
       } catch (...) {
@@ -527,14 +537,17 @@ RunStats Network::run(const ProcessFactory& factory, int max_rounds) {
   const auto route_shard = [&](int round) {
     return [&, round](unsigned t) {
       ShardState& shard = shards[t];
-      const std::uint64_t next_epoch = epoch_ + 1;
+      Network::NodeGate* const gates = gates_.shard_view(t);
+      const std::uint32_t next_epoch = epoch_ + 1;
       for (unsigned s = 0; s < num_shards; ++s) {
         std::vector<NodeId>& box = lane(s, t);
         for (const NodeId u : box) {
+          // One packed 8-byte gate record per delivered node: the count
+          // bump and the scheduling mark share a cache line touch.
           const auto ui = static_cast<std::size_t>(u);
-          ++rcv_count_[ui];
-          if (pending_mark_[ui] != next_epoch) {
-            pending_mark_[ui] = next_epoch;
+          ++gates[ui].rcv;
+          if (gates[ui].mark != next_epoch) {
+            gates[ui].mark = next_epoch;
             shard.next_active.push_back(u);
           }
         }
@@ -569,8 +582,8 @@ RunStats Network::run(const ProcessFactory& factory, int max_rounds) {
                 });
       for (const ExtraMsg& e : next) {
         const auto ui = static_cast<std::size_t>(e.node);
-        if (pending_mark_[ui] != next_epoch) {
-          pending_mark_[ui] = next_epoch;
+        if (gates[ui].mark != next_epoch) {
+          gates[ui].mark = next_epoch;
           shard.next_active.push_back(e.node);
         }
       }
@@ -586,8 +599,8 @@ RunStats Network::run(const ProcessFactory& factory, int max_rounds) {
         const auto ui = static_cast<std::size_t>(u);
         respawn_pending_[ui] = 1;
         ++shard.stats.restarted_nodes;
-        if (pending_mark_[ui] != next_epoch) {
-          pending_mark_[ui] = next_epoch;
+        if (gates[ui].mark != next_epoch) {
+          gates[ui].mark = next_epoch;
           shard.next_active.push_back(u);
         }
       }
@@ -613,6 +626,10 @@ RunStats Network::run(const ProcessFactory& factory, int max_rounds) {
   for (; executed < max_rounds; ++executed) {
     quiesced = all_idle();
     if (quiesced) break;
+    // Between rounds is the other safe renormalization point (live state
+    // is the current inbox + receive counters, both preserved), covering
+    // single runs long enough to approach the 32-bit epoch ceiling.
+    if (epoch_ >= kEpochRenorm) renormalize_epochs();
 
 #ifndef DMATCH_OBS_DISABLED
     if (observer != nullptr) {
@@ -635,10 +652,10 @@ RunStats Network::run(const ProcessFactory& factory, int max_rounds) {
     }
 #endif
 
-    if (faults) reg_snapshot = mate_port_;
+    if (faults) mate_port_.copy_to(reg_snapshot);
     for_each_shard(step_shard(executed));
     if (failed.load(std::memory_order_relaxed)) {
-      if (faults) mate_port_ = reg_snapshot;
+      if (faults) mate_port_.assign_from(reg_snapshot);
 #ifndef DMATCH_OBS_DISABLED
       if (observer != nullptr && faults) {
         observer->metrics().restore(obs_slab_snap);
@@ -751,6 +768,17 @@ RunStats Network::run(const ProcessFactory& factory, int max_rounds) {
     for (std::size_t i = 0; i < stats.round_messages.size(); ++i) {
       DMATCH_ASSERT(curve[tail + i] == stats.round_messages[i]);
     }
+    // Scheduling profile export. Wall-clock service times are inherently
+    // non-deterministic, so this is opt-in: without sched.profile the
+    // deterministic-artifact guarantee (byte-identical traces/metrics
+    // across thread counts and modes) holds unconditionally.
+    if (options_.sched.profile) {
+      const auto& service = sched_->task_service_ns();
+      for (unsigned t = 0; t < num_shards && t < service.size(); ++t) {
+        o->trace(obs::EventType::kSchedShard, t, service[t]);
+        o->observe(mid.sched_shard_service_ns, service[t]);
+      }
+    }
   }
 #endif
 
@@ -763,46 +791,39 @@ RunStats Network::run(const ProcessFactory& factory, int max_rounds) {
 Matching Network::extract_matching() const {
   const Graph& g = *g_;
   Matching m(g.node_count());
-  // Parallel scan, deterministic reduction: each worker checks and
+  // Parallel scan, deterministic reduction: each task checks and
   // collects the matched edges (as seen from their lower endpoint) of
-  // its contiguous node chunk; the driver then applies the per-chunk
-  // lists in chunk order, which is exactly the sequential v-ascending
-  // order. Contract trips are captured per worker and rethrown lowest
-  // chunk first, so the thrown violation is thread-count-independent.
-  const unsigned workers = pool_ != nullptr ? pool_->size() : 1;
-  std::vector<std::vector<EdgeId>> found(workers);
-  std::vector<std::exception_ptr> errors(workers);
-  const auto scan = [&, this](unsigned w) {
-    try {
-      const auto [vb, ve] = support::ThreadPool::chunk(
-          static_cast<std::size_t>(g.node_count()), workers, w);
-      for (std::size_t vi = vb; vi < ve; ++vi) {
-        const auto v = static_cast<NodeId>(vi);
-        const int port = mate_port_[vi];
-        if (port < 0) continue;
-        DMATCH_EXPECTS(port < g.degree(v));
-        const EdgeId e = g.incident_edges(v)[static_cast<std::size_t>(port)];
-        const NodeId u = g.other_endpoint(e, v);
-        // Register consistency: u must point back along the same edge.
-        const int uport = mate_port_[static_cast<std::size_t>(u)];
-        DMATCH_EXPECTS(uport >= 0);
-        DMATCH_EXPECTS(
-            g.incident_edges(u)[static_cast<std::size_t>(uport)] == e);
-        if (v < u) found[w].push_back(e);
-      }
-    } catch (...) {
-      errors[w] = std::current_exception();
+  // its contiguous node shard; the driver then applies the per-shard
+  // lists in shard order, which is exactly the sequential v-ascending
+  // order. Contract trips are captured per shard and rethrown lowest
+  // shard first (the scheduler's contract), so the thrown violation is
+  // thread-count-independent. The scan reads a flat register snapshot:
+  // the consistency check follows v -> mate -> back, crossing shard
+  // boundaries, and a flat copy keeps that random access cheap.
+  const unsigned tasks = num_shards_;
+  std::vector<int> reg;
+  mate_port_.copy_to(reg);
+  std::vector<std::vector<EdgeId>> found(tasks);
+  const auto scan = [&](unsigned w) {
+    const auto [vb, ve] = support::balanced_range(
+        static_cast<std::size_t>(g.node_count()), tasks, w);
+    for (std::size_t vi = vb; vi < ve; ++vi) {
+      const auto v = static_cast<NodeId>(vi);
+      const int port = reg[vi];
+      if (port < 0) continue;
+      DMATCH_EXPECTS(port < g.degree(v));
+      const EdgeId e = g.incident_edges(v)[static_cast<std::size_t>(port)];
+      const NodeId u = g.other_endpoint(e, v);
+      // Register consistency: u must point back along the same edge.
+      const int uport = reg[static_cast<std::size_t>(u)];
+      DMATCH_EXPECTS(uport >= 0);
+      DMATCH_EXPECTS(
+          g.incident_edges(u)[static_cast<std::size_t>(uport)] == e);
+      if (v < u) found[w].push_back(e);
     }
   };
-  if (pool_ != nullptr) {
-    pool_->run(scan);
-  } else {
-    scan(0);
-  }
-  for (unsigned w = 0; w < workers; ++w) {
-    if (errors[w]) std::rethrow_exception(errors[w]);
-  }
-  for (unsigned w = 0; w < workers; ++w) {
+  sched_->run_tasks(tasks, scan);
+  for (unsigned w = 0; w < tasks; ++w) {
     for (const EdgeId e : found[w]) m.add(g, e);
   }
   DMATCH_ENSURES(m.is_valid(g));
@@ -814,25 +835,27 @@ Matching Network::extract_matching_resilient(DegradationReport* report) const {
   Matching m(g.node_count());
   DegradationReport scratch;
   DegradationReport& rep = report != nullptr ? *report : scratch;
-  // Same parallel scan + chunk-ordered reduction as extract_matching;
-  // never throws. The heal tallies are sums, so adding the per-worker
+  // Same parallel scan + shard-ordered reduction as extract_matching;
+  // never throws. The heal tallies are sums, so adding the per-shard
   // partials in any fixed order reproduces the sequential counts.
-  const unsigned workers = pool_ != nullptr ? pool_->size() : 1;
+  const unsigned workers = num_shards_;
+  std::vector<int> reg;
+  mate_port_.copy_to(reg);
   std::vector<std::vector<EdgeId>> found(workers);
   std::vector<std::uint64_t> dead_part(workers, 0);
   std::vector<std::uint64_t> dead_healed_part(workers, 0);
   std::vector<std::uint64_t> torn_healed_part(workers, 0);
   const auto scan = [&, this](unsigned w) {
-    const auto [vb, ve] = support::ThreadPool::chunk(
+    const auto [vb, ve] = support::balanced_range(
         static_cast<std::size_t>(g.node_count()), workers, w);
     for (std::size_t vi = vb; vi < ve; ++vi) {
       const auto v = static_cast<NodeId>(vi);
       if (node_dead(v)) {
         ++dead_part[w];
-        if (mate_port_[vi] >= 0) ++dead_healed_part[w];
+        if (reg[vi] >= 0) ++dead_healed_part[w];
         continue;
       }
-      const int port = mate_port_[vi];
+      const int port = reg[vi];
       if (port < 0) continue;
       const EdgeId e = g.incident_edges(v)[static_cast<std::size_t>(port)];
       const NodeId u = g.other_endpoint(e, v);
@@ -840,7 +863,7 @@ Matching Network::extract_matching_resilient(DegradationReport* report) const {
         ++dead_healed_part[w];
         continue;
       }
-      const int uport = mate_port_[static_cast<std::size_t>(u)];
+      const int uport = reg[static_cast<std::size_t>(u)];
       const bool consistent =
           uport >= 0 &&
           g.incident_edges(u)[static_cast<std::size_t>(uport)] == e;
@@ -851,11 +874,7 @@ Matching Network::extract_matching_resilient(DegradationReport* report) const {
       if (v < u) found[w].push_back(e);
     }
   };
-  if (pool_ != nullptr) {
-    pool_->run(scan);
-  } else {
-    scan(0);
-  }
+  sched_->run_tasks(workers, scan);
   // crashed_nodes is a high-water mark (a dead node stays dead), so count
   // this pass locally and max it in; repeated extractions must not inflate.
   std::uint64_t dead_now = 0;
@@ -875,10 +894,12 @@ void Network::heal_registers(DegradationReport* report) {
   DegradationReport scratch;
   DegradationReport& rep = report != nullptr ? *report : scratch;
   const auto n = static_cast<std::size_t>(g.node_count());
-  // Decide against a frozen snapshot, then clear: clearing v in place
-  // would make a consistent partner look torn within the same pass.
+  // Decide against a frozen flat snapshot, then clear: clearing v in
+  // place would make a consistent partner look torn within the same
+  // pass. The cleared snapshot is written back to the slabs wholesale.
+  std::vector<int> reg;
+  mate_port_.copy_to(reg);
   std::vector<char> dead(n, 0);
-  std::vector<char> clear(n, 0);
   std::uint64_t dead_now = 0;
   for (NodeId v = 0; v < g.node_count(); ++v) {
     if (node_dead(v)) {
@@ -887,9 +908,10 @@ void Network::heal_registers(DegradationReport* report) {
     }
   }
   rep.crashed_nodes = std::max(rep.crashed_nodes, dead_now);
+  std::vector<char> clear(n, 0);
   for (NodeId v = 0; v < g.node_count(); ++v) {
     const auto vi = static_cast<std::size_t>(v);
-    const int port = mate_port_[vi];
+    const int port = reg[vi];
     if (port < 0) continue;
     if (dead[vi]) {
       clear[vi] = 1;
@@ -903,7 +925,7 @@ void Network::heal_registers(DegradationReport* report) {
       ++rep.dead_registers_healed;
       continue;
     }
-    const int uport = mate_port_[static_cast<std::size_t>(u)];
+    const int uport = reg[static_cast<std::size_t>(u)];
     const bool consistent =
         uport >= 0 &&
         g.incident_edges(u)[static_cast<std::size_t>(uport)] == e;
@@ -913,19 +935,41 @@ void Network::heal_registers(DegradationReport* report) {
     }
   }
   for (std::size_t vi = 0; vi < n; ++vi) {
-    if (clear[vi]) mate_port_[vi] = -1;
+    if (clear[vi]) reg[vi] = -1;
   }
+  mate_port_.assign_from(reg);
 }
 
 void Network::set_matching(const Matching& m) {
   const Graph& g = *g_;
   DMATCH_EXPECTS(m.node_count() == g.node_count());
   DMATCH_EXPECTS(m.is_valid(g));
+  std::vector<int> reg(static_cast<std::size_t>(g.node_count()));
   for (NodeId v = 0; v < g.node_count(); ++v) {
     const EdgeId e = m.matched_edge(v);
-    mate_port_[static_cast<std::size_t>(v)] =
+    reg[static_cast<std::size_t>(v)] =
         e == kNoEdge ? -1 : g.port_of_edge(v, e);
   }
+  mate_port_.assign_from(reg);
+}
+
+void Network::renormalize_epochs() {
+  // Remap the 32-bit stamp space so epochs restart at 2 without touching
+  // message payloads. Callable only between rounds (the run loop's top)
+  // or between runs: live state is then exactly the current-round inbox
+  // (cur stamps equal to epoch_) and the receive counters, which are
+  // kept; scheduling marks and nxt stamps are stale by construction at
+  // those points and collapse to 0.
+  for (std::size_t i = 0; i < cur_stamp_.size(); ++i) {
+    cur_stamp_[i] = cur_stamp_[i] == epoch_ ? 2u : 0u;
+    nxt_stamp_[i] = 0;
+  }
+  for (unsigned s = 0; s < gates_.shards(); ++s) {
+    NodeGate* const gates = gates_.shard_view(s);
+    const auto [vb, ve] = gates_.range(s);
+    for (std::size_t vi = vb; vi < ve; ++vi) gates[vi].mark = 0;
+  }
+  epoch_ = 2;
 }
 
 }  // namespace dmatch::congest

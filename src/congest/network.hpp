@@ -8,13 +8,17 @@
 // Model::kLocal only records sizes.
 //
 // Rounds execute on a sharded engine (see docs/PROTOCOLS.md, "Round
-// engine"): nodes are partitioned into contiguous shards, one per worker
-// of a persistent thread pool, and each round runs as step phase ->
-// barrier -> route phase. Messages travel through port-indexed mailbox
-// slots (one slot per directed edge endpoint), so delivery is always in
-// ascending port order and no mutex sits on the hot path. Results —
-// matchings, RunStats, every per-node RNG draw — are bit-identical for
-// any Options::num_threads.
+// engine"): nodes are partitioned into contiguous balanced shards whose
+// count is fixed at construction by the scheduler (one task per worker
+// under static and rapid-start dispatch, several blocks per worker under
+// work-stealing), and each round runs as step phase -> barrier -> route
+// phase. Messages travel through port-indexed mailbox slots (one slot per
+// directed edge endpoint), so delivery is always in ascending port order
+// and no mutex sits on the hot path. Per-node hot state (registers, RNGs,
+// receive gates) lives in 64-byte-aligned per-shard SoA slabs, so shards
+// never share a cache line. Results — matchings, RunStats, every per-node
+// RNG draw — are bit-identical for any Options::num_threads and any
+// Options::sched mode.
 #pragma once
 
 #include <functional>
@@ -29,7 +33,8 @@
 #include "graph/matching.hpp"
 #include "obs/obs.hpp"
 #include "support/rng.hpp"
-#include "support/thread_pool.hpp"
+#include "support/sched.hpp"
+#include "support/slab.hpp"
 
 namespace dmatch::congest {
 
@@ -99,6 +104,13 @@ class Network {
     /// 1 = fully sequential (no OS threads are created). Any value
     /// produces bit-identical runs.
     unsigned num_threads = 0;
+    /// Scheduling mode, pinning and profiling knobs for the round
+    /// engine's dispatcher (see support/sched.hpp). Every mode produces
+    /// bit-identical runs; `sched.profile` additionally records
+    /// wall-clock shard service times and, with an observer attached,
+    /// emits them as (non-deterministic) kSchedShard trace events and a
+    /// sched.shard_service_ns histogram.
+    support::SchedOptions sched;
     /// Fault-injection plan. The default (inactive) plan leaves the
     /// engine byte-for-byte identical to the fault-free build; an active
     /// plan injects faults deterministically (see congest/fault.hpp) and
@@ -127,6 +139,16 @@ class Network {
     return cap_bits_;
   }
   [[nodiscard]] unsigned num_threads() const noexcept { return num_threads_; }
+
+  /// Shards the node set is partitioned into (fixed at construction;
+  /// >= 1). Equals the scheduler's task plan for node_count() items.
+  [[nodiscard]] unsigned num_shards() const noexcept { return num_shards_; }
+
+  /// The engine's dispatcher. Exposes the scheduling options and, when
+  /// Options::sched.profile is set, per-shard service-time counters.
+  [[nodiscard]] const support::Scheduler& scheduler() const noexcept {
+    return *sched_;
+  }
 
   /// Run one protocol until every node halts with no message in flight, or
   /// until `max_rounds` rounds have executed. Returns the stats of this run
@@ -193,9 +215,13 @@ class Network {
   Model model_;
   std::uint32_t cap_bits_;
   unsigned num_threads_;
+  unsigned num_shards_ = 1;
   Options options_;
-  std::vector<Rng> node_rng_;
-  std::vector<int> mate_port_;  // output registers; -1 = unmatched
+  // Per-node hot state as shard-indexed SoA slabs (support/slab.hpp):
+  // each shard's values sit in their own 64-byte-aligned segment, so the
+  // single-writer-per-shard discipline produces no false sharing.
+  support::ShardSlab<Rng> node_rng_;
+  support::ShardSlab<int> mate_port_;  // output registers; -1 = unmatched
   RunStats total_;
 
   // Routing tables, built once: slot i = slot_offset_[v] + p addresses
@@ -208,17 +234,25 @@ class Network {
   // Double-buffered port-indexed mailboxes. A slot holds a live message
   // for the current round iff its stamp equals epoch_; epoch_ advances
   // every round (and past both buffers at the end of every run), so the
-  // buffers never need clearing.
-  std::vector<Message> cur_msg_, nxt_msg_;            // size 2m each
-  std::vector<std::uint64_t> cur_stamp_, nxt_stamp_;  // size 2m each
-  std::uint64_t epoch_ = 1;
+  // buffers never need clearing. Stamps are packed to 32 bits so the
+  // step phase's port scan walks half the memory of the old u64 stamps;
+  // epochs are renormalized long before wrap (see renormalize_epochs in
+  // network.cpp), so 32 bits never alias.
+  std::vector<Message> cur_msg_, nxt_msg_;  // size 2m each
+  std::vector<std::uint32_t, support::AlignedAlloc<std::uint32_t>> cur_stamp_,
+      nxt_stamp_;  // size 2m each
+  std::uint32_t epoch_ = 1;
 
   // Per-node engine bookkeeping, single-writer (the owning shard's
-  // worker): pending_mark_[v] == e means v is already scheduled for the
-  // round with epoch e; rcv_count_[v] counts messages awaiting v, which
+  // worker), packed so the route phase touches one 8-byte record per
+  // delivered node: mark == e means the node is already scheduled for
+  // the round with epoch e; rcv counts messages awaiting the node, which
   // lets the inbox builder stop scanning ports early.
-  std::vector<std::uint64_t> pending_mark_;
-  std::vector<std::uint32_t> rcv_count_;
+  struct NodeGate {
+    std::uint32_t mark = 0;
+    std::uint32_t rcv = 0;
+  };
+  support::ShardSlab<NodeGate> gates_;
 
   // Fault-injection state (all empty / inert without an active plan).
   // Crash schedules are per-node lifetime-round intervals, precomputed
@@ -234,9 +268,13 @@ class Network {
   std::uint64_t lifetime_rounds_ = 0;
   std::uint64_t fault_nonce_ = 0;  // decorrelates fault draws across runs
 
-  // Created in the constructor when num_threads_ > 1 and shared by the
-  // round loop, the parallel table build, and the extraction scans.
-  std::unique_ptr<support::ThreadPool> pool_;
+  // Always present (a 1-worker scheduler spawns no OS threads); shared
+  // by the round loop, the parallel table build, and the extraction
+  // scans. num_shards_ is frozen from sched_->plan_tasks(n) at
+  // construction so shard layout never depends on per-round scheduling.
+  std::unique_ptr<support::Scheduler> sched_;
+
+  void renormalize_epochs();
 };
 
 }  // namespace dmatch::congest

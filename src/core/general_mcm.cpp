@@ -114,8 +114,10 @@ GeneralMcmResult general_mcm(const Graph& g, const GeneralMcmOptions& options) {
   const bool faulty = options.fault.any();
   congest::Network main_net(g, congest::Model::kCongest, options.seed,
                             options.congest_factor,
-                            {options.num_threads, options.fault,
-                             options.observer});
+                            {.num_threads = options.num_threads,
+                             .sched = options.sched,
+                             .fault = options.fault,
+                             .observer = options.observer});
   DMATCH_OBS(obs::Observer* const ob = main_net.observer();)
   Rng driver_rng(options.seed ^ 0xa5a5a5a5a5a5a5a5ULL);
 
@@ -203,6 +205,7 @@ GeneralMcmResult general_mcm(const Graph& g, const GeneralMcmOptions& options) {
       Graph::Subgraph sub = g.edge_subgraph(keep);
       congest::Network::Options hat_opts;
       hat_opts.num_threads = options.num_threads;
+      hat_opts.sched = options.sched;
       hat_opts.observer = options.observer;
       if (faulty) {
         // The Aug networks keep suffering message faults (fresh derived

@@ -124,8 +124,10 @@ HalfMwmResult half_mwm(const Graph& g, const HalfMwmOptions& options) {
   const bool faulty = options.fault.any();
   congest::Network main_net(g, congest::Model::kCongest, options.seed,
                             options.congest_factor,
-                            {options.num_threads, options.fault,
-                             options.observer});
+                            {.num_threads = options.num_threads,
+                             .sched = options.sched,
+                             .fault = options.fault,
+                             .observer = options.observer});
   DMATCH_OBS(obs::Observer* const ob = main_net.observer();)
   Rng driver_rng(options.seed ^ 0x5ee5ee5ee5ee5eeULL);
 
@@ -193,6 +195,7 @@ HalfMwmResult half_mwm(const Graph& g, const HalfMwmOptions& options) {
     box.seed = driver_rng();
     box.congest_factor = options.congest_factor;
     box.num_threads = options.num_threads;
+    box.sched = options.sched;
     box.arq = options.arq;
     box.observer = options.observer;
     if (faulty) {

@@ -27,6 +27,7 @@ Observer::Observer(ObsConfig config) : config_(config) {
   ids_.checkpoint_captures = m.counter("checkpoint.captures");
   ids_.checkpoint_rollbacks = m.counter("checkpoint.rollbacks");
   ids_.checkpoint_heals = m.counter("checkpoint.heals");
+  ids_.sched_shard_service_ns = m.histogram_log2("sched.shard_service_ns");
   ids_.async_events = m.counter("async.events");
   ids_.async_payload_messages = m.counter("async.payload_messages");
   ids_.async_control_messages = m.counter("async.control_messages");

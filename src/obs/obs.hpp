@@ -62,6 +62,7 @@ struct StdMetricIds {
   Id fault_crashed, fault_restarted;
   Id arq_fast_retransmits, arq_timeout_retransmits, arq_dead_links;
   Id checkpoint_captures, checkpoint_rollbacks, checkpoint_heals;
+  Id sched_shard_service_ns;  // histogram; fed only under SchedOptions::profile
   Id async_events, async_payload_messages, async_control_messages;
   Id async_virtual_rounds;
 };

@@ -26,6 +26,7 @@ const char* event_type_name(EventType t) noexcept {
     case EventType::kCheckpointCapture: return "checkpoint.capture";
     case EventType::kCheckpointRollback: return "checkpoint.rollback";
     case EventType::kCheckpointHeal: return "checkpoint.heal";
+    case EventType::kSchedShard: return "sched.shard";
     case EventType::kTypeCount: break;
   }
   return "unknown";

@@ -45,7 +45,9 @@ enum class EventType : std::uint16_t {
   kCheckpointRollback = 14,  // a = attempt index, b = cause (0 = contract,
                              // 1 = over-cap message)
   kCheckpointHeal = 15,      // a = torn registers healed, b = dead healed
-  kTypeCount = 16,
+  kSchedShard = 16,          // actor = shard, a = service ns (profile only;
+                             // wall-clock, never in deterministic output)
+  kTypeCount = 17,
 };
 
 /// Name of an event type as it appears in exports ("round.start", ...).

@@ -1,0 +1,122 @@
+// Per-shard bump arena for transient per-round buffers.
+//
+// The async executor (and any other per-round scratch producer) used to
+// build fresh std::vectors every round, hitting the global allocator twice
+// per node per round. An Arena hands out 64-byte-aligned bump allocations
+// from shard-private blocks; reset() rewinds to empty while keeping the
+// high-water blocks alive, so steady-state rounds perform zero heap calls.
+//
+// Arenas are strictly shard-private (single writer, same discipline as the
+// executors' shard state) and must only back objects whose lifetime ends
+// before the next reset(). ArenaVector destructors still run normally —
+// they just return memory the arena never reuses until reset.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace dmatch::support {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t block_bytes = 1 << 16)
+      : block_bytes_(block_bytes < kAlign ? kAlign : block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  [[nodiscard]] void* allocate(std::size_t bytes, std::size_t align) {
+    if (align < alignof(std::max_align_t)) align = alignof(std::max_align_t);
+    std::size_t offset = (cursor_ + align - 1) & ~(align - 1);
+    if (block_ >= blocks_.size() || offset + bytes > blocks_[block_].size) {
+      next_block(bytes + align);
+      offset = (cursor_ + align - 1) & ~(align - 1);
+    }
+    cursor_ = offset + bytes;
+    return blocks_[block_].data.get() + offset;
+  }
+
+  /// Rewind to empty, keeping all blocks for reuse.
+  void reset() noexcept {
+    block_ = 0;
+    cursor_ = 0;
+  }
+
+  /// Total bytes currently reserved across blocks (observability only).
+  [[nodiscard]] std::size_t reserved_bytes() const noexcept {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+
+ private:
+  static constexpr std::size_t kAlign = 64;
+
+  struct AlignedDelete {
+    void operator()(std::byte* p) const noexcept {
+      ::operator delete[](p, std::align_val_t(kAlign));
+    }
+  };
+  struct Block {
+    std::unique_ptr<std::byte[], AlignedDelete> data;
+    std::size_t size = 0;
+  };
+
+  void next_block(std::size_t min_bytes) {
+    if (block_ < blocks_.size() && cursor_ > 0) ++block_;
+    while (block_ < blocks_.size() && blocks_[block_].size < min_bytes) {
+      ++block_;
+    }
+    if (block_ >= blocks_.size()) {
+      std::size_t size = block_bytes_;
+      while (size < min_bytes) size *= 2;
+      Block b;
+      b.data.reset(static_cast<std::byte*>(
+          ::operator new[](size, std::align_val_t(kAlign))));
+      b.size = size;
+      blocks_.push_back(std::move(b));
+      block_ = blocks_.size() - 1;
+    }
+    cursor_ = 0;
+  }
+
+  std::size_t block_bytes_;
+  std::vector<Block> blocks_;
+  std::size_t block_ = 0;
+  std::size_t cursor_ = 0;
+};
+
+/// std-allocator adapter over an Arena. Deallocate is a no-op; memory is
+/// reclaimed wholesale by Arena::reset().
+template <typename T>
+struct ArenaAllocator {
+  using value_type = T;
+
+  Arena* arena = nullptr;
+
+  ArenaAllocator() noexcept = default;
+  explicit ArenaAllocator(Arena& a) noexcept : arena(&a) {}
+  template <typename U>
+  explicit ArenaAllocator(const ArenaAllocator<U>& other) noexcept
+      : arena(other.arena) {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(arena->allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, std::size_t) noexcept {}
+
+  template <typename U>
+  [[nodiscard]] bool operator==(const ArenaAllocator<U>& other) const noexcept {
+    return arena == other.arena;
+  }
+};
+
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace dmatch::support

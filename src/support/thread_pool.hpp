@@ -23,6 +23,8 @@
 #include <thread>
 #include <vector>
 
+#include "support/sched.hpp"
+
 namespace dmatch::support {
 
 class ThreadPool {
@@ -38,10 +40,13 @@ class ThreadPool {
   [[nodiscard]] unsigned size() const noexcept { return size_; }
 
   /// Contiguous chunk [begin, end) of `count` items owned by worker
-  /// `index` out of `workers`: ceil(count/workers)-sized blocks, the one
-  /// item->shard layout every sharded component (round engine, async
-  /// executor, parallel build/extract) uses, so ownership agrees across
-  /// subsystems and results cannot depend on who computed the split.
+  /// `index` out of `workers` — the balanced layout from
+  /// support::balanced_range (floor(count/workers) per worker, remainder
+  /// spread over the first workers). This replaced ceil-div chunking,
+  /// which could hand the last worker an empty range while the first got
+  /// a full one at small counts. Still a pure function of
+  /// (count, workers, index) so ownership agrees across subsystems and
+  /// results cannot depend on who computed the split.
   struct ChunkRange {
     std::size_t begin = 0;
     std::size_t end = 0;
@@ -49,10 +54,8 @@ class ThreadPool {
   [[nodiscard]] static constexpr ChunkRange chunk(std::size_t count,
                                                   unsigned workers,
                                                   unsigned index) noexcept {
-    const std::size_t len =
-        workers <= 1 ? count : (count + workers - 1) / workers;
-    const std::size_t b = std::min(count, index * len);
-    return {b, std::min(count, b + len)};
+    const BalancedRange r = balanced_range(count, workers, index);
+    return {r.begin, r.end};
   }
 
   /// Execute task(i) for every i in [0, size()) and block until all

@@ -1,10 +1,12 @@
 // Seeded differential torture harness (ctest label `difftorture`).
 //
-// Sweeps graph families x fault plans x executors x thread counts and
-// asserts, for every cell, the repository's strongest cross-cutting
-// guarantees at once:
+// Sweeps graph families x fault plans x executors x thread counts x
+// scheduling modes and asserts, for every cell, the repository's
+// strongest cross-cutting guarantees at once:
 //   * the round engine is bit-identical across num_threads {1, 2, 8}
 //     (matching, RunStats, per-round histogram, trip-or-not outcome);
+//   * both executors are bit-identical across dispatcher scheduling
+//     modes {static, steal, rapid} at the highest thread count;
 //   * the async executor is bit-identical across the same thread counts
 //     (matching, AsyncStats, fault counters, dead mask);
 //   * the two executors agree with each other on the matching and on
@@ -31,6 +33,7 @@
 #include "core/verify.hpp"
 #include "graph/generators.hpp"
 #include "support/assert.hpp"
+#include "support/sched.hpp"
 
 namespace dmatch {
 namespace {
@@ -42,8 +45,13 @@ using congest::FaultPlan;
 using congest::Model;
 using congest::Network;
 using congest::RunStats;
+using support::SchedMode;
 
 const unsigned kThreadCounts[] = {1, 2, 8};
+
+// The non-default dispatcher modes, swept at the highest thread count
+// (kStatic is what the thread-count sweep already runs).
+const SchedMode kAltModes[] = {SchedMode::kWorkSteal, SchedMode::kRapidStart};
 
 // Round budgets are deliberately short: under active plans the raw
 // protocol may never quiesce, and every guarantee the harness asserts
@@ -125,9 +133,11 @@ struct EngineOutcome {
 };
 
 EngineOutcome run_engine(const Graph& g, std::uint64_t seed,
-                         const FaultPlan& plan, unsigned threads) {
+                         const FaultPlan& plan, unsigned threads,
+                         SchedMode mode = SchedMode::kStatic) {
   Network::Options options;
   options.num_threads = threads;
+  options.sched.mode = mode;
   options.fault = plan;
   Network net(g, Model::kCongest, seed, 48, options);
   EngineOutcome out;
@@ -153,9 +163,11 @@ struct AsyncOutcome {
 };
 
 AsyncOutcome run_async(const Graph& g, std::uint64_t seed,
-                       const FaultPlan& plan, unsigned threads) {
+                       const FaultPlan& plan, unsigned threads,
+                       SchedMode mode = SchedMode::kStatic) {
   AsyncOptions options;
   options.num_threads = threads;
+  options.sched.mode = mode;
   options.fault = plan;
   AsyncOutcome out;
   try {
@@ -271,6 +283,24 @@ std::optional<std::string> check_cell(const Family& family, NodeId n,
       return "engine matching mismatch at threads=" + std::to_string(threads);
   }
 
+  // Round engine across scheduling modes (highest thread count, where
+  // stealing and the wakeup tree actually have workers to act on).
+  for (const SchedMode mode : kAltModes) {
+    const EngineOutcome got =
+        run_engine(g, seed, plan, kThreadCounts[2], mode);
+    const std::string tag = std::string("engine mode=") +
+                            support::to_string(mode);
+    if (got.tripped != engine_ref.tripped)
+      return tag + ": trip outcome mismatch";
+    if (!got.tripped) {
+      if (auto err = check_engine_stats(engine_ref.stats, got.stats,
+                                        kThreadCounts[2]))
+        return tag + " " + *err;
+    }
+    if (!(got.matching == engine_ref.matching))
+      return tag + ": matching mismatch";
+  }
+
   // Async executor across thread counts.
   const AsyncOutcome async_ref = run_async(g, seed, plan, 1);
   for (const unsigned threads : {kThreadCounts[1], kThreadCounts[2]}) {
@@ -286,6 +316,22 @@ std::optional<std::string> check_cell(const Family& family, NodeId n,
       return "async matching mismatch at threads=" + std::to_string(threads);
     if (got.result.dead_nodes != async_ref.result.dead_nodes)
       return "async dead-mask mismatch at threads=" + std::to_string(threads);
+  }
+
+  // Async executor across scheduling modes.
+  for (const SchedMode mode : kAltModes) {
+    const AsyncOutcome got = run_async(g, seed, plan, kThreadCounts[2], mode);
+    const std::string tag =
+        std::string("async mode=") + support::to_string(mode);
+    if (got.tripped != async_ref.tripped) return tag + ": trip mismatch";
+    if (got.tripped) continue;
+    if (auto err = check_async_stats(async_ref.result.stats, got.result.stats,
+                                     kThreadCounts[2]))
+      return tag + " " + *err;
+    if (!(got.result.matching == async_ref.result.matching))
+      return tag + ": matching mismatch";
+    if (got.result.dead_nodes != async_ref.result.dead_nodes)
+      return tag + ": dead-mask mismatch";
   }
 
   // Matching invariants over the surviving nodes, per executor (each

@@ -1,0 +1,348 @@
+// Scheduler suite (ctest label `sched`): the fork-join dispatcher behind
+// both executors, plus the mode-independence contract — static,
+// work-stealing and rapid-start dispatch must produce byte-identical
+// matchings, stats and observability artifacts for any thread count,
+// with and without fault injection.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "congest/async.hpp"
+#include "congest/fault.hpp"
+#include "congest/network.hpp"
+#include "core/israeli_itai.hpp"
+#include "graph/generators.hpp"
+#include "obs/obs.hpp"
+#include "support/sched.hpp"
+#include "support/slab.hpp"
+
+namespace dmatch {
+namespace {
+
+using congest::FaultPlan;
+using congest::Model;
+using congest::Network;
+using support::balanced_part_of;
+using support::balanced_range;
+using support::BalancedRange;
+using support::SchedMode;
+using support::SchedOptions;
+using support::Scheduler;
+
+constexpr SchedMode kModes[] = {SchedMode::kStatic, SchedMode::kWorkSteal,
+                                SchedMode::kRapidStart};
+constexpr unsigned kThreadCounts[] = {1, 2, 8};
+
+// --- balanced partition ----------------------------------------------
+
+TEST(BalancedRangeTest, TilesAndBalances) {
+  for (const std::size_t count : {0u, 1u, 7u, 8u, 9u, 64u, 1000u}) {
+    for (const unsigned parts : {1u, 2u, 3u, 7u, 8u, 64u}) {
+      std::size_t covered = 0;
+      std::size_t min_len = count + 1, max_len = 0;
+      for (unsigned p = 0; p < parts; ++p) {
+        const BalancedRange r = balanced_range(count, parts, p);
+        EXPECT_EQ(r.begin, covered) << "gap/overlap at part " << p;
+        EXPECT_LE(r.begin, r.end);
+        const std::size_t len = r.end - r.begin;
+        min_len = std::min(min_len, len);
+        max_len = std::max(max_len, len);
+        covered = r.end;
+      }
+      EXPECT_EQ(covered, count) << "count=" << count << " parts=" << parts;
+      // Balanced remainder: no two ranges differ by more than one item.
+      EXPECT_LE(max_len - min_len, 1u)
+          << "count=" << count << " parts=" << parts;
+    }
+  }
+}
+
+TEST(BalancedRangeTest, PartOfIsInverse) {
+  for (const std::size_t count : {1u, 7u, 9u, 64u, 1000u}) {
+    for (const unsigned parts : {1u, 2u, 3u, 7u, 8u, 64u}) {
+      for (std::size_t i = 0; i < count; ++i) {
+        const unsigned p = balanced_part_of(count, parts, i);
+        const BalancedRange r = balanced_range(count, parts, p);
+        EXPECT_TRUE(r.begin <= i && i < r.end)
+            << "count=" << count << " parts=" << parts << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(SchedModeTest, ParseAndPrint) {
+  EXPECT_EQ(support::parse_sched_mode("static"), SchedMode::kStatic);
+  EXPECT_EQ(support::parse_sched_mode("steal"), SchedMode::kWorkSteal);
+  EXPECT_EQ(support::parse_sched_mode("work-steal"), SchedMode::kWorkSteal);
+  EXPECT_EQ(support::parse_sched_mode("rapid"), SchedMode::kRapidStart);
+  EXPECT_EQ(support::parse_sched_mode("rapid-start"), SchedMode::kRapidStart);
+  EXPECT_FALSE(support::parse_sched_mode("greedy").has_value());
+  EXPECT_FALSE(support::parse_sched_mode("").has_value());
+  for (const SchedMode mode : kModes) {
+    EXPECT_EQ(support::parse_sched_mode(support::to_string(mode)), mode);
+  }
+}
+
+// --- dispatch semantics ----------------------------------------------
+
+TEST(SchedulerTest, PlanTasks) {
+  for (const SchedMode mode : kModes) {
+    SchedOptions opts;
+    opts.mode = mode;
+    Scheduler sched(4, opts);
+    EXPECT_EQ(sched.workers(), 4u);
+    EXPECT_EQ(sched.plan_tasks(0), 1u);  // never zero shards
+    EXPECT_EQ(sched.plan_tasks(3), 3u);  // never more tasks than items
+    const unsigned many = sched.plan_tasks(1 << 20);
+    if (mode == SchedMode::kWorkSteal) {
+      EXPECT_EQ(many, 4u * opts.steal_blocks_per_worker);
+    } else {
+      EXPECT_EQ(many, 4u);
+    }
+  }
+}
+
+TEST(SchedulerTest, RunsEveryTaskExactlyOnce) {
+  for (const SchedMode mode : kModes) {
+    for (const unsigned threads : kThreadCounts) {
+      SchedOptions opts;
+      opts.mode = mode;
+      Scheduler sched(threads, opts);
+      // Odd task counts exercise the remainder split; repeated dispatches
+      // exercise generation reuse.
+      for (const unsigned tasks : {1u, 5u, 7u, 64u}) {
+        std::vector<std::atomic<int>> hits(tasks);
+        for (auto& h : hits) h.store(0);
+        for (int repeat = 0; repeat < 3; ++repeat) {
+          sched.run_tasks(tasks, [&](unsigned t) {
+            hits[t].fetch_add(1, std::memory_order_relaxed);
+          });
+        }
+        for (unsigned t = 0; t < tasks; ++t) {
+          EXPECT_EQ(hits[t].load(), 3)
+              << "mode=" << support::to_string(mode) << " threads=" << threads
+              << " tasks=" << tasks << " t=" << t;
+        }
+      }
+    }
+  }
+}
+
+TEST(SchedulerTest, RethrowsLowestTaskIndex) {
+  for (const SchedMode mode : kModes) {
+    for (const unsigned threads : {1u, 8u}) {
+      SchedOptions opts;
+      opts.mode = mode;
+      Scheduler sched(threads, opts);
+      try {
+        sched.run_tasks(16, [](unsigned t) {
+          if (t == 5 || t == 11) {
+            throw std::runtime_error("task " + std::to_string(t));
+          }
+        });
+        FAIL() << "expected rethrow, mode=" << support::to_string(mode)
+               << " threads=" << threads;
+      } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "task 5")
+            << "mode=" << support::to_string(mode) << " threads=" << threads;
+      }
+      // The scheduler must stay usable after a failed dispatch.
+      std::atomic<int> ran{0};
+      sched.run_tasks(4, [&](unsigned) { ran.fetch_add(1); });
+      EXPECT_EQ(ran.load(), 4);
+    }
+  }
+}
+
+TEST(SchedulerTest, PinningSmoke) {
+  // Pinning is best-effort; the observable contract is only that work
+  // still completes.
+  SchedOptions opts;
+  opts.pin_threads = true;
+  for (const SchedMode mode : kModes) {
+    opts.mode = mode;
+    Scheduler sched(4, opts);
+    std::atomic<int> ran{0};
+    sched.run_tasks(8, [&](unsigned) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 8);
+  }
+#if defined(__linux__)
+  EXPECT_TRUE(Scheduler::pinning_supported());
+#endif
+}
+
+TEST(SchedulerTest, ProfileCountersAccount) {
+  SchedOptions opts;
+  opts.mode = SchedMode::kWorkSteal;
+  opts.profile = true;
+  Scheduler sched(4, opts);
+  sched.reset_profile();
+  constexpr unsigned kTasks = 16;
+  constexpr int kRepeats = 5;
+  for (int i = 0; i < kRepeats; ++i) {
+    sched.run_tasks(kTasks, [](unsigned) {});
+  }
+  ASSERT_EQ(sched.task_service_ns().size(), kTasks);
+  ASSERT_EQ(sched.worker_task_counts().size(), sched.workers());
+  const std::uint64_t total =
+      std::accumulate(sched.worker_task_counts().begin(),
+                      sched.worker_task_counts().end(), std::uint64_t{0});
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kTasks) * kRepeats);
+  sched.reset_profile();
+  const std::uint64_t after =
+      std::accumulate(sched.worker_task_counts().begin(),
+                      sched.worker_task_counts().end(), std::uint64_t{0});
+  EXPECT_EQ(after, 0u);
+}
+
+// --- slab layout ------------------------------------------------------
+
+TEST(ShardSlabTest, ViewsTileTheLogicalIndexSpace) {
+  support::ShardSlab<int> slab;
+  for (const std::size_t count : {1u, 7u, 64u, 129u}) {
+    for (const unsigned shards : {1u, 2u, 5u, 8u}) {
+      slab.reset(count, shards, -1);
+      EXPECT_EQ(slab.count(), count);
+      for (unsigned s = 0; s < slab.shards(); ++s) {
+        int* view = slab.shard_view(s);
+        const BalancedRange r = slab.range(s);
+        for (std::size_t i = r.begin; i < r.end; ++i) {
+          EXPECT_EQ(view[i], -1);
+          view[i] = static_cast<int>(i);
+        }
+        // Segments are cache-line aligned: no two shards share a line.
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(view + r.begin) % 64, 0u);
+      }
+      for (std::size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(slab.at(i), static_cast<int>(i));
+      }
+      std::vector<int> out;
+      slab.copy_to(out);
+      ASSERT_EQ(out.size(), count);
+      for (std::size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(out[i], static_cast<int>(i));
+      }
+    }
+  }
+}
+
+// --- mode independence of executor results ---------------------------
+
+struct EngineRun {
+  Matching matching;
+  congest::RunStats stats;
+  std::string metrics_json;
+  std::string trace_jsonl;
+};
+
+EngineRun run_engine(const Graph& g, SchedMode mode, unsigned threads,
+                     const FaultPlan& plan) {
+  obs::Observer observer;
+  Network::Options options;
+  options.num_threads = threads;
+  options.sched.mode = mode;
+  options.fault = plan;
+  options.observer = &observer;
+  Network net(g, Model::kCongest, 5, 48, options);
+  EngineRun out;
+  out.stats = net.run(israeli_itai_factory(), 512);
+  out.matching =
+      plan.any() ? net.extract_matching_resilient() : net.extract_matching();
+  std::ostringstream metrics;
+  observer.metrics().write_json(metrics);
+  out.metrics_json = metrics.str();
+  std::ostringstream trace;
+  observer.trace_sink().write_jsonl(trace);
+  out.trace_jsonl = trace.str();
+  return out;
+}
+
+TEST(SchedModeDeterminism, EngineIdenticalAcrossModesAndThreads) {
+  const Graph g = gen::gnp(96, 5.0 / 96, 2);
+  FaultPlan faulty;
+  faulty.drop_prob = 0.05;
+  faulty.duplicate_prob = 0.03;
+  faulty.seed = 7;
+  for (const FaultPlan& plan : {FaultPlan{}, faulty}) {
+    const EngineRun ref = run_engine(g, SchedMode::kStatic, 1, plan);
+    for (const SchedMode mode : kModes) {
+      for (const unsigned threads : kThreadCounts) {
+        const EngineRun got = run_engine(g, mode, threads, plan);
+        SCOPED_TRACE(::testing::Message()
+                     << "mode=" << support::to_string(mode)
+                     << " threads=" << threads << " faulty=" << plan.any());
+        EXPECT_TRUE(got.matching == ref.matching);
+        EXPECT_EQ(got.stats.rounds, ref.stats.rounds);
+        EXPECT_EQ(got.stats.messages, ref.stats.messages);
+        EXPECT_EQ(got.stats.total_bits, ref.stats.total_bits);
+        EXPECT_EQ(got.stats.dropped_messages, ref.stats.dropped_messages);
+        EXPECT_EQ(got.stats.duplicated_messages,
+                  ref.stats.duplicated_messages);
+        // Byte-identical observability artifacts — the strongest form of
+        // the layout-independence claim.
+        EXPECT_EQ(got.metrics_json, ref.metrics_json);
+        EXPECT_EQ(got.trace_jsonl, ref.trace_jsonl);
+      }
+    }
+  }
+}
+
+TEST(SchedModeDeterminism, AsyncIdenticalAcrossModesAndThreads) {
+  const Graph g = gen::gnp(64, 5.0 / 64, 3);
+  FaultPlan faulty;
+  faulty.drop_prob = 0.05;
+  faulty.seed = 9;
+  for (const FaultPlan& plan : {FaultPlan{}, faulty}) {
+    congest::AsyncOptions ref_options;
+    ref_options.num_threads = 1;
+    ref_options.fault = plan;
+    const congest::AsyncRunResult ref = congest::run_synchronized(
+        g, israeli_itai_factory(), 5, 512, ref_options);
+    for (const SchedMode mode : kModes) {
+      for (const unsigned threads : kThreadCounts) {
+        congest::AsyncOptions options;
+        options.num_threads = threads;
+        options.sched.mode = mode;
+        options.fault = plan;
+        const congest::AsyncRunResult got = congest::run_synchronized(
+            g, israeli_itai_factory(), 5, 512, options);
+        SCOPED_TRACE(::testing::Message()
+                     << "mode=" << support::to_string(mode)
+                     << " threads=" << threads << " faulty=" << plan.any());
+        EXPECT_TRUE(got.matching == ref.matching);
+        EXPECT_EQ(got.stats.events, ref.stats.events);
+        EXPECT_EQ(got.stats.payload_messages, ref.stats.payload_messages);
+        EXPECT_EQ(got.stats.virtual_rounds, ref.stats.virtual_rounds);
+        EXPECT_EQ(got.dead_nodes, ref.dead_nodes);
+      }
+    }
+  }
+}
+
+TEST(SchedModeDeterminism, ProfilingDoesNotPerturbResults) {
+  // profile=true records wall-clock service times; with no observer
+  // attached it must not change any deterministic output.
+  const Graph g = gen::gnp(64, 5.0 / 64, 4);
+  const EngineRun ref = run_engine(g, SchedMode::kStatic, 1, FaultPlan{});
+  Network::Options options;
+  options.num_threads = 8;
+  options.sched.mode = SchedMode::kWorkSteal;
+  options.sched.profile = true;
+  Network net(g, Model::kCongest, 5, 48, options);
+  const congest::RunStats stats = net.run(israeli_itai_factory(), 512);
+  EXPECT_TRUE(net.extract_matching() == ref.matching);
+  EXPECT_EQ(stats.rounds, ref.stats.rounds);
+  EXPECT_EQ(stats.messages, ref.stats.messages);
+  // The profile itself must be populated (one slot per shard).
+  EXPECT_EQ(net.scheduler().task_service_ns().size(), net.num_shards());
+}
+
+}  // namespace
+}  // namespace dmatch

@@ -25,6 +25,11 @@
 //   --threads N      worker count for the simulated networks and the
 //                    async executor (0 = hardware concurrency, default 1;
 //                    results are bit-identical for any value)
+//   --sched-mode M   dispatcher scheduling mode: static | steal | rapid
+//                    (default static; results are bit-identical across
+//                    modes — only wall-clock behavior differs)
+//   --pin 0|1        pin engine workers to CPUs round-robin (Linux only;
+//                    best-effort, default 0)
 //
 // Fault injection (maximal, mcm-bipartite, mcm-general, mwm):
 //   --fault-drop P     per-message drop probability
@@ -226,12 +231,25 @@ int run(const Args& args) {
   const unsigned num_threads =
       static_cast<unsigned>(std::stoul(args.get("threads", "1")));
 
+  support::SchedOptions sched;
+  if (const std::string mode = args.get("sched-mode"); !mode.empty()) {
+    const auto parsed = support::parse_sched_mode(mode);
+    if (!parsed.has_value()) {
+      std::cerr << "unknown --sched-mode: " << mode
+                << " (expected static | steal | rapid)\n";
+      return 2;
+    }
+    sched.mode = *parsed;
+  }
+  sched.pin_threads = args.get("pin", "0") != "0";
+
   congest::ResilientOptions arq;
   arq.window = std::stoi(args.get("arq-window", std::to_string(arq.window)));
   DMATCH_EXPECTS(arq.window >= 1);
 
   congest::Network::Options net_options;
   net_options.num_threads = num_threads;
+  net_options.sched = sched;
   net_options.fault = fault;
   net_options.observer = observer.get();
   if (args.command == "maximal") {
@@ -252,6 +270,7 @@ int run(const Args& args) {
     options.k = std::stoi(args.get("k", "3"));
     options.seed = seed;
     options.num_threads = num_threads;
+    options.sched = sched;
     options.fault = fault;
     options.arq = arq;
     options.observer = observer.get();
@@ -263,6 +282,7 @@ int run(const Args& args) {
     options.epsilon = std::stod(args.get("epsilon", "0.1"));
     options.seed = seed;
     options.num_threads = num_threads;
+    options.sched = sched;
     options.fault = fault;
     options.arq = arq;
     options.observer = observer.get();
